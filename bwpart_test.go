@@ -1,0 +1,143 @@
+package bwpart_test
+
+import (
+	"math"
+	"testing"
+
+	"bwpart"
+)
+
+func TestPublicSchemeCatalog(t *testing.T) {
+	if got := len(bwpart.Schemes()); got != 6 {
+		t.Fatalf("schemes = %d, want 6", got)
+	}
+	for _, s := range bwpart.Schemes() {
+		resolved, err := bwpart.SchemeByName(s.Name())
+		if err != nil || resolved.Name() != s.Name() {
+			t.Errorf("SchemeByName(%s) = %v, %v", s.Name(), resolved, err)
+		}
+	}
+}
+
+func TestPublicOptimalForAllObjectives(t *testing.T) {
+	for _, obj := range bwpart.Objectives() {
+		s, err := bwpart.OptimalFor(obj)
+		if err != nil || s == nil {
+			t.Errorf("OptimalFor(%v): %v", obj, err)
+		}
+	}
+}
+
+func TestPublicModelRoundTrip(t *testing.T) {
+	apcAlone := []float64{0.006, 0.003}
+	api := []float64{0.03, 0.005}
+	ipc, err := bwpart.PredictIPC(apcAlone, api)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ipc[0]-0.2) > 1e-12 || math.Abs(ipc[1]-0.6) > 1e-12 {
+		t.Fatalf("ipc = %v", ipc)
+	}
+	v, err := bwpart.Evaluate(bwpart.ObjectiveWsp, bwpart.Equal(), apcAlone, api, 0.008)
+	if err != nil || v <= 0 {
+		t.Fatalf("Evaluate = %v, %v", v, err)
+	}
+}
+
+func TestPublicClosedForms(t *testing.T) {
+	apc := []float64{0.004, 0.004}
+	h, err := bwpart.MaxHsp(apc, 0.006)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric workload: Hsp = B/sum = 0.75.
+	if math.Abs(h-0.75) > 1e-12 {
+		t.Fatalf("MaxHsp = %v", h)
+	}
+	p, err := bwpart.PropHspWsp(apc, 0.006)
+	if err != nil || math.Abs(p-0.75) > 1e-12 {
+		t.Fatalf("PropHspWsp = %v, %v", p, err)
+	}
+	w, err := bwpart.SqrtWsp(apc, 0.006)
+	if err != nil || math.Abs(w-0.75) > 1e-12 {
+		t.Fatalf("SqrtWsp = %v, %v", w, err)
+	}
+}
+
+func TestPublicMetrics(t *testing.T) {
+	shared := []float64{0.5, 0.5}
+	alone := []float64{1, 0.5}
+	h, _ := bwpart.Hsp(shared, alone)
+	w, _ := bwpart.Wsp(shared, alone)
+	s, _ := bwpart.IPCSum(shared)
+	f, _ := bwpart.MinFairness(shared, alone)
+	if h <= 0 || w != 0.75 || s != 1.0 || f != 1.0 {
+		t.Fatalf("h=%v w=%v s=%v f=%v", h, w, s, f)
+	}
+}
+
+func TestPublicQoSAllocate(t *testing.T) {
+	apc := []float64{0.006, 0.005}
+	api := []float64{0.03, 0.005}
+	alloc, err := bwpart.QoSAllocate(bwpart.PriorityAPI(), apc, api, 0.009,
+		[]bwpart.Guarantee{{App: 1, TargetIPC: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.APCShared[1]-0.8*api[1]) > 1e-12 {
+		t.Fatalf("guarantee allocation = %v", alloc.APCShared)
+	}
+}
+
+func TestPublicBenchmarkCatalog(t *testing.T) {
+	if got := len(bwpart.Benchmarks()); got != 16 {
+		t.Fatalf("benchmarks = %d, want 16", got)
+	}
+	p, err := bwpart.BenchmarkByName("lbm")
+	if err != nil || p.Name != "lbm" {
+		t.Fatalf("BenchmarkByName = %v, %v", p, err)
+	}
+	if len(bwpart.HeteroMixes()) != 7 || len(bwpart.HomoMixes()) != 7 {
+		t.Fatal("mix catalogs wrong size")
+	}
+	if _, err := bwpart.MixByName("mix-2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSimConfigDefaults(t *testing.T) {
+	cfg := bwpart.DefaultSimConfig()
+	if cfg.DRAM.PeakBandwidthGBs() != 3.2 {
+		t.Fatalf("default peak = %v", cfg.DRAM.PeakBandwidthGBs())
+	}
+	if bwpart.DDR2_400().PeakAPC() != 0.01 {
+		t.Fatal("DDR2-400 peak APC wrong")
+	}
+}
+
+func TestPublicSystemSmoke(t *testing.T) {
+	p, _ := bwpart.BenchmarkByName("gobmk")
+	cfg := bwpart.DefaultSimConfig()
+	cfg.WarmupInstructions = 20_000
+	sys, err := bwpart.NewSystem(cfg, []bwpart.Profile{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	sys.Run(50_000)
+	sys.ResetStats()
+	sys.Run(100_000)
+	res := sys.Results()
+	if res.Apps[0].IPC <= 0 {
+		t.Fatalf("no progress: %+v", res.Apps[0])
+	}
+}
+
+func TestPublicMaximizeObjective(t *testing.T) {
+	apc := []float64{0.005, 0.002}
+	api := []float64{0.02, 0.004}
+	x, v, err := bwpart.MaximizeObjective(bwpart.ObjectiveIPCSum, apc, api, 0.005, bwpart.OptOptions{Iters: 80, Restarts: 2})
+	if err != nil || v <= 0 || len(x) != 2 {
+		t.Fatalf("MaximizeObjective = %v, %v, %v", x, v, err)
+	}
+}

@@ -1,0 +1,158 @@
+// Command bwsim runs one simulation: a workload mix under a partitioning
+// scheme on the simulated CMP, reporting per-application rates and the four
+// system objectives.
+//
+// Usage:
+//
+//	bwsim -mix hetero-5 -scheme square-root
+//	bwsim -apps lbm,milc,gobmk,zeusmp -scheme priority-api -bw-scale 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"bwpart"
+	"bwpart/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bwsim: ")
+	mixName := flag.String("mix", "", "named workload mix (e.g. hetero-5, homo-1, mix-1, motivation)")
+	apps := flag.String("apps", "", "comma-separated benchmark list (alternative to -mix)")
+	scheme := flag.String("scheme", "no-partitioning",
+		"no-partitioning, equal, proportional, square-root, two-thirds-power, priority-apc, priority-api")
+	measure := flag.Int64("measure", 700_000, "measurement window in CPU cycles")
+	profileCyc := flag.Int64("profile", 500_000, "standalone profiling window in CPU cycles")
+	bwScale := flag.Float64("bw-scale", 1, "bandwidth scale factor over DDR2-400 (1, 2, 4, ...)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	tracePath := flag.String("trace", "", "record the off-chip access trace to this file (read with traceinfo)")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON instead of the text report")
+	flag.Parse()
+
+	var mix bwpart.Mix
+	switch {
+	case *mixName != "" && *apps != "":
+		log.Fatal("use either -mix or -apps, not both")
+	case *mixName != "":
+		m, err := bwpart.MixByName(*mixName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = m
+	case *apps != "":
+		mix = bwpart.Mix{Name: "custom", Benchmarks: strings.Split(*apps, ",")}
+	default:
+		mix, _ = bwpart.MixByName("hetero-5")
+	}
+
+	cfg := bwpart.DefaultExperiments()
+	cfg.Seed = *seed
+	cfg.MeasureCycles = *measure
+	cfg.ProfileCycles = *profileCyc
+	if *bwScale != 1 {
+		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(*bwScale)
+	}
+	var tw *trace.Writer
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		cfg.Tracer = func(cycle int64, app int, addr uint64, write bool) {
+			if err := tw.Append(trace.Record{Cycle: cycle, App: app, Addr: addr, Write: write}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	runner, err := bwpart.NewRunner(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*jsonOut {
+		fmt.Printf("workload %s on %d cores, %s scheme, %.1f GB/s peak\n",
+			mix.Name, len(mix.Benchmarks), *scheme, cfg.Sim.DRAM.PeakBandwidthGBs())
+	}
+	run, err := runner.RunMix(mix, *scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *jsonOut {
+		if err := emitJSON(mix, *scheme, run); err != nil {
+			log.Fatal(err)
+		}
+		if tw != nil {
+			if err := tw.Flush(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("\n%-12s %8s %8s %10s %10s %8s\n", "app", "IPC", "IPCalone", "APKC", "APKI", "speedup")
+	for i, a := range run.Result.Apps {
+		fmt.Printf("%-12s %8.3f %8.3f %10.3f %10.3f %8.3f\n",
+			a.Name, a.IPC, run.IPCAlone[i], a.APKC, a.APKI, a.IPC/run.IPCAlone[i])
+	}
+	fmt.Printf("\nbus utilization %.1f%%, total APC %.5f (peak %.5f)\n",
+		100*run.Result.BusUtilization, run.Result.TotalAPC, cfg.Sim.DRAM.PeakAPC())
+	fmt.Println()
+	for _, obj := range bwpart.Objectives() {
+		fmt.Printf("%-26s %.4f\n", obj, run.Values[obj])
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ntrace: %d off-chip accesses written to %s\n", tw.Count(), *tracePath)
+	}
+}
+
+// jsonReport is the machine-readable result shape for -json.
+type jsonReport struct {
+	Mix            string             `json:"mix"`
+	Scheme         string             `json:"scheme"`
+	Apps           []jsonApp          `json:"apps"`
+	Values         map[string]float64 `json:"objectives"`
+	BusUtilization float64            `json:"bus_utilization"`
+	TotalAPC       float64            `json:"total_apc"`
+	EnergyMJ       float64            `json:"dram_energy_mj"`
+}
+
+type jsonApp struct {
+	Name     string  `json:"name"`
+	IPC      float64 `json:"ipc"`
+	IPCAlone float64 `json:"ipc_alone"`
+	APKC     float64 `json:"apkc"`
+	APKI     float64 `json:"apki"`
+}
+
+func emitJSON(mix bwpart.Mix, scheme string, run *bwpart.MixRun) error {
+	rep := jsonReport{
+		Mix:            mix.Name,
+		Scheme:         scheme,
+		Values:         map[string]float64{},
+		BusUtilization: run.Result.BusUtilization,
+		TotalAPC:       run.Result.TotalAPC,
+		EnergyMJ:       run.Result.Energy.TotalNJ() / 1e6,
+	}
+	for i, a := range run.Result.Apps {
+		rep.Apps = append(rep.Apps, jsonApp{
+			Name: a.Name, IPC: a.IPC, IPCAlone: run.IPCAlone[i], APKC: a.APKC, APKI: a.APKI,
+		})
+	}
+	for _, obj := range bwpart.Objectives() {
+		rep.Values[obj.String()] = run.Values[obj]
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

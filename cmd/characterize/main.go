@@ -1,0 +1,41 @@
+// Command characterize reproduces Table III: it runs every calibrated SPEC
+// CPU2006 stand-in alone on the simulated memory system and reports its
+// APKC_alone, APKI, IPC and intensity class next to the paper's values.
+//
+// Usage:
+//
+//	characterize [-cycles N] [-bw-scale F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("characterize: ")
+	cycles := flag.Int64("cycles", 600_000, "profiling window in CPU cycles")
+	bwScale := flag.Float64("bw-scale", 1, "bandwidth scale factor over DDR2-400")
+	flag.Parse()
+
+	cfg := bwpart.DefaultSimConfig()
+	if *bwScale != 1 {
+		cfg.DRAM = cfg.DRAM.ScaleBandwidth(*bwScale)
+	}
+	fmt.Printf("memory system: %.1f GB/s peak (%s)\n\n", cfg.DRAM.PeakBandwidthGBs(), cfg.DRAM.Policy)
+	fmt.Printf("%-12s %9s %9s %9s %9s %7s %7s %7s\n",
+		"name", "APKC", "ref", "APKI", "ref", "IPC", "ref", "class")
+	for _, p := range bwpart.Benchmarks() {
+		ap, err := bwpart.ProfileAlone(cfg, p, *cycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %9.3f %9.3f %9.3f %9.3f %7.3f %7.3f %7s\n",
+			p.Name, ap.APKC, p.TableAPKC, ap.APKI, p.TableAPKI,
+			ap.IPCAlone, p.ReferenceIPCAlone(), p.Class())
+	}
+}

@@ -1,0 +1,107 @@
+// Command sweep runs a parameter grid — workload mixes x schemes x
+// bandwidth scales — and emits one CSV row per run with the four system
+// objectives, for plotting or regression tracking.
+//
+// Usage:
+//
+//	sweep -mixes hetero-1,hetero-5 -schemes equal,square-root -scales 1,2 > results.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	mixesFlag := flag.String("mixes", "hetero-1,hetero-2,hetero-3,hetero-4,hetero-5,hetero-6,hetero-7",
+		"comma-separated mix names")
+	schemesFlag := flag.String("schemes", "no-partitioning,equal,proportional,square-root,two-thirds-power,priority-apc,priority-api",
+		"comma-separated scheme names")
+	scalesFlag := flag.String("scales", "1", "comma-separated bandwidth scale factors")
+	quick := flag.Bool("quick", true, "use reduced simulation windows")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	scales, err := parseFloats(*scalesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mixes := strings.Split(*mixesFlag, ",")
+	schemes := strings.Split(*schemesFlag, ",")
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := []string{"scale", "gbs", "mix", "scheme",
+		"hsp", "min_fairness", "wsp", "ipc_sum", "bus_util", "total_apc"}
+	if err := w.Write(header); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, scale := range scales {
+		cfg := bwpart.DefaultExperiments()
+		if *quick {
+			cfg = bwpart.QuickExperiments()
+		}
+		cfg.Seed = *seed
+		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
+		runner, err := bwpart.NewRunner(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gbs := cfg.Sim.DRAM.PeakBandwidthGBs()
+		for _, mixName := range mixes {
+			mix, err := bwpart.MixByName(strings.TrimSpace(mixName))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, scheme := range schemes {
+				scheme = strings.TrimSpace(scheme)
+				run, err := runner.RunMix(mix, scheme)
+				if err != nil {
+					log.Fatalf("%s/%s: %v", mix.Name, scheme, err)
+				}
+				row := []string{
+					fmt.Sprintf("%g", scale),
+					fmt.Sprintf("%.1f", gbs),
+					mix.Name,
+					scheme,
+					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveHsp]),
+					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveMinFairness]),
+					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveWsp]),
+					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveIPCSum]),
+					fmt.Sprintf("%.3f", run.Result.BusUtilization),
+					fmt.Sprintf("%.6f", run.Result.TotalAPC),
+				}
+				if err := w.Write(row); err != nil {
+					log.Fatal(err)
+				}
+				w.Flush()
+			}
+		}
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad scale %q: %w", p, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("scale %v must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

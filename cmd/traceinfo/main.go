@@ -1,0 +1,52 @@
+// Command traceinfo summarizes an off-chip access trace recorded with
+// bwsim -trace: per-application access counts, write shares, and APC over
+// the trace span.
+//
+// Usage:
+//
+//	bwsim -mix hetero-5 -scheme square-root -trace /tmp/run.bwt
+//	traceinfo /tmp/run.bwt
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"bwpart/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("traceinfo: ")
+	if len(os.Args) != 2 {
+		log.Fatal("usage: traceinfo <trace-file>")
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.Summarize(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("records: %d over %d cycles (cycle %d..%d)\n",
+		s.Records, s.SpanCycles, s.FirstCycle, s.LastCycle)
+	fmt.Printf("total APC: %.6f\n\n", s.TotalAPC)
+	apps := make([]int, 0, len(s.Apps))
+	for app := range s.Apps {
+		apps = append(apps, app)
+	}
+	sort.Ints(apps)
+	fmt.Printf("%4s %12s %10s %10s %10s\n", "app", "accesses", "writes", "write%", "APC")
+	for _, app := range apps {
+		a := s.Apps[app]
+		wp := 0.0
+		if a.Accesses > 0 {
+			wp = 100 * float64(a.Writes) / float64(a.Accesses)
+		}
+		fmt.Printf("%4d %12d %10d %9.1f%% %10.6f\n", app, a.Accesses, a.Writes, wp, a.APC)
+	}
+}

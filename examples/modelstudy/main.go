@@ -1,0 +1,95 @@
+// Modelstudy: explore the analytical model itself — closed forms, the
+// Cauchy ordering between Square_root and Proportional, the Eq. 6 erratum,
+// and a numeric-optimizer cross-check that no allocation beats the derived
+// optimal schemes.
+//
+// Run with: go run ./examples/modelstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A stylized four-app workload: APC_alone spans 5x, API spans 13x.
+	// (Chosen so the Square_root allocation stays within every app's
+	// alone-mode cap — the closed forms' validity region.)
+	apcAlone := []float64{0.008, 0.006, 0.003, 0.0015}
+	api := []float64{0.040, 0.030, 0.006, 0.003}
+	const b = 0.009
+
+	fmt.Println("workload: APC_alone =", apcAlone, " API =", api, " B =", b)
+
+	// Every scheme's allocation and the value of all four objectives.
+	fmt.Println("\nscheme allocations and objective values:")
+	for _, s := range bwpart.Schemes() {
+		alloc, err := s.Allocate(apcAlone, api, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-18s alloc %v\n", s.Name(), fmtAlloc(alloc))
+		for _, obj := range bwpart.Objectives() {
+			v, _ := bwpart.Evaluate(obj, s, apcAlone, api, b)
+			fmt.Printf("      %-26s %.4f\n", obj, v)
+		}
+	}
+
+	// Closed forms vs direct evaluation.
+	fmt.Println("\nclosed forms:")
+	hsp, err := bwpart.MaxHsp(apcAlone, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	direct, _ := bwpart.Evaluate(bwpart.ObjectiveHsp, bwpart.SquareRoot(), apcAlone, api, b)
+	fmt.Printf("  Eq. 4  max Hsp        = %.4f (direct evaluation %.4f)\n", hsp, direct)
+	wsqrt, _ := bwpart.SqrtWsp(apcAlone, b)
+	fmt.Printf("  Eq. 6* Wsp(sqrt)      = %.4f (corrected form; see EXPERIMENTS.md erratum)\n", wsqrt)
+	printedEq6 := b / 4 * sq(invSqrtSum(apcAlone))
+	fmt.Printf("         Eq. 6 as printed would claim %.4f — impossible, it exceeds the knapsack optimum\n", printedEq6)
+	prop, _ := bwpart.PropHspWsp(apcAlone, b)
+	fmt.Printf("  Eq. 8  Hsp=Wsp(prop)  = %.4f\n", prop)
+	fmt.Printf("  Cauchy ordering: Hsp(sqrt) %.4f >= Hsp(prop) %.4f, Wsp(sqrt) %.4f >= Wsp(prop) %.4f\n",
+		hsp, prop, wsqrt, prop)
+
+	// Numeric optimizer cross-check: no feasible allocation beats the
+	// derived scheme for its objective.
+	fmt.Println("\nnumeric optimizer cross-check:")
+	for _, obj := range bwpart.Objectives() {
+		scheme, _ := bwpart.OptimalFor(obj)
+		derived, _ := bwpart.Evaluate(obj, scheme, apcAlone, api, b)
+		_, numeric, err := bwpart.MaximizeObjective(obj, apcAlone, api, b, bwpart.OptOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "confirmed optimal"
+		if numeric > derived*1.01 {
+			verdict = "BEATEN - derivation suspect!"
+		}
+		fmt.Printf("  %-26s derived(%s) %.4f vs numeric best %.4f  [%s]\n",
+			obj, scheme.Name(), derived, numeric, verdict)
+	}
+}
+
+func fmtAlloc(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.4f", x)
+	}
+	return out
+}
+
+func invSqrtSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += 1 / math.Sqrt(x)
+	}
+	return s
+}
+
+func sq(x float64) float64 { return x * x }

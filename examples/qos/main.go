@@ -1,0 +1,107 @@
+// QoS example: guarantee a latency-critical application a fixed IPC and
+// maximize the throughput of the remaining best-effort applications with
+// the leftover bandwidth (paper Sec. III-G and Figure 3).
+//
+// A datacenter-style scenario: hmmer is the paying tenant whose SLO is
+// IPC >= 0.6; lbm, libquantum and omnetpp are batch jobs.
+//
+// Run with: go run ./examples/qos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+	runner, err := bwpart.NewRunner(bwpart.QuickExperiments())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := bwpart.MixByName("mix-1") // lbm, libquantum, omnetpp, hmmer
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize each application alone (in deployment this would come
+	// from the online profiler instead).
+	var apcAlone, api []float64
+	guarded := -1
+	for i, name := range mix.Benchmarks {
+		p, err := bwpart.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ap, err := bwpart.ProfileAlone(runner.Config().Sim, p, runner.Config().ProfileCycles)
+		if err != nil {
+			log.Fatal(err)
+		}
+		apcAlone = append(apcAlone, ap.APCAlone)
+		api = append(api, ap.API)
+		if name == "hmmer" {
+			guarded = i
+		}
+		fmt.Printf("%-12s alone: IPC %.3f, APC %.5f\n", name, ap.IPCAlone, ap.APCAlone)
+	}
+
+	// Reserve bandwidth for the SLO and split the rest with Priority_API
+	// (max best-effort IPC throughput).
+	const b = 0.0095 // sustainable service rate on DDR2-400
+	target := 0.6
+	if aloneIPC := apcAlone[guarded] / api[guarded]; target > 0.9*aloneIPC {
+		target = 0.9 * aloneIPC
+	}
+	alloc, err := bwpart.QoSAllocate(bwpart.PriorityAPI(), apcAlone, api, b,
+		[]bwpart.Guarantee{{App: guarded, TargetIPC: target}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nguarantee: hmmer IPC >= %.2f needs %.5f APC (%.0f%% of B); best effort gets %.5f\n",
+		target, alloc.BQoS, 100*alloc.BQoS/b, alloc.BBE)
+	for i, name := range mix.Benchmarks {
+		fmt.Printf("  %-12s allocated APC %.5f\n", name, alloc.APCShared[i])
+	}
+
+	// Enforce the allocation on the simulated CMP via start-time-fair
+	// shares and measure.
+	profs := make([]bwpart.Profile, len(mix.Benchmarks))
+	for i, name := range mix.Benchmarks {
+		profs[i], _ = bwpart.BenchmarkByName(name)
+	}
+	sys, err := bwpart.NewSystem(runner.Config().Sim, profs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.Warmup()
+	shares := make([]float64, len(alloc.APCShared))
+	for i, x := range alloc.APCShared {
+		shares[i] = x
+		if shares[i] < 1e-6 {
+			shares[i] = 1e-6
+		}
+	}
+	if err := sys.ApplyShares(shares); err != nil {
+		log.Fatal(err)
+	}
+	sys.Run(runner.Config().SettleCycles)
+	sys.ResetStats()
+	sys.Run(runner.Config().MeasureCycles)
+	res := sys.Results()
+
+	fmt.Println("\nmeasured under QoS partitioning:")
+	for _, a := range res.Apps {
+		marker := ""
+		if a.Name == "hmmer" {
+			marker = fmt.Sprintf("   (SLO %.2f)", target)
+		}
+		fmt.Printf("  %-12s IPC %.3f%s\n", a.Name, a.IPC, marker)
+	}
+	if got := res.Apps[guarded].IPC; got >= target*0.9 {
+		fmt.Printf("\nSLO held: hmmer at %.3f vs target %.2f\n", got, target)
+	} else {
+		fmt.Printf("\nSLO MISSED: hmmer at %.3f vs target %.2f\n", got, target)
+	}
+}

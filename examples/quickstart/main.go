@@ -1,0 +1,77 @@
+// Quickstart: partition bandwidth among four applications with the
+// analytical model alone (no simulation), then check the derivations with
+// one simulated run.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Four applications characterized by their alone-mode memory access
+	// rate (APC_alone, accesses per CPU cycle) and access-per-instruction
+	// ratio (API). On DDR2-400 at 5 GHz the total budget B is 0.01 APC
+	// (= 3.2 GB/s with 64-byte lines).
+	apcAlone := []float64{0.0075, 0.0070, 0.0034, 0.0019} // libquantum, milc, gromacs, gobmk
+	api := []float64{0.0372, 0.0447, 0.0052, 0.0040}
+	const b = 0.0096 // sustainable service rate (~96% bus utilization)
+
+	// 1. Ask the model for the optimal scheme per objective and what each
+	//    achieves.
+	fmt.Println("model predictions (B =", b, "accesses/cycle):")
+	for _, obj := range bwpart.Objectives() {
+		scheme, err := bwpart.OptimalFor(obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		value, err := bwpart.Evaluate(obj, scheme, apcAlone, api, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alloc, _ := scheme.Allocate(apcAlone, api, b)
+		fmt.Printf("  %-26s -> %-16s value %.3f, allocation %v\n", obj, scheme.Name(), value, short(alloc))
+	}
+
+	// 2. Closed forms (paper Eq. 4 and 8).
+	if hsp, err := bwpart.MaxHsp(apcAlone, b); err == nil {
+		fmt.Printf("\nEq. 4  max harmonic weighted speedup: %.3f\n", hsp)
+	}
+	if v, err := bwpart.PropHspWsp(apcAlone, b); err == nil {
+		fmt.Printf("Eq. 8  Hsp = Wsp under Proportional:   %.3f\n", v)
+	}
+
+	// 3. Verify one prediction in the cycle-level simulator: run the same
+	//    four benchmarks under Square_root partitioning.
+	fmt.Println("\nsimulating libquantum-milc-gromacs-gobmk under square-root partitioning...")
+	runner, err := bwpart.NewRunner(bwpart.QuickExperiments())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mix, err := bwpart.MixByName("motivation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := runner.RunMix(mix, "square-root")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, a := range run.Result.Apps {
+		fmt.Printf("  %-12s IPC %.3f (alone %.3f)\n", a.Name, a.IPC, run.IPCAlone[i])
+	}
+	fmt.Printf("  measured Hsp: %.3f\n", run.Values[bwpart.ObjectiveHsp])
+}
+
+func short(xs []float64) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.4f", x)
+	}
+	return out
+}

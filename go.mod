@@ -1,0 +1,3 @@
+module bwpart
+
+go 1.22

@@ -1,0 +1,62 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwpart/internal/mem"
+)
+
+// instantLower completes everything immediately.
+type instantLower struct{}
+
+func (instantLower) Access(now int64, req *mem.Request) bool {
+	if req.Done != nil {
+		req.Done(now)
+	}
+	return true
+}
+
+// BenchmarkAccessHit measures the hit path (the common case).
+func BenchmarkAccessHit(b *testing.B) {
+	c, err := New(L1D(), instantLower{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Touch(0x1000, false)
+	req := &mem.Request{Addr: 0x1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(int64(i), req)
+		c.Tick(int64(i))
+	}
+}
+
+// BenchmarkAccessMixed measures a realistic hit/miss mixture over a
+// working set twice the cache size.
+func BenchmarkAccessMixed(b *testing.B) {
+	c, err := New(L1D(), instantLower{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	span := uint64(2 * L1D().SizeBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(r.Int63n(int64(span)))
+		c.Access(int64(i), &mem.Request{Addr: addr, Write: i&7 == 0})
+		c.Tick(int64(i))
+	}
+}
+
+// BenchmarkTouchWarmup measures functional warmup throughput.
+func BenchmarkTouchWarmup(b *testing.B) {
+	c, err := New(L2(), instantLower{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(uint64(i)*64, false)
+	}
+}

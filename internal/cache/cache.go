@@ -1,0 +1,351 @@
+// Package cache implements set-associative write-back caches with LRU
+// replacement and MSHR-based non-blocking misses. The simulated CMP gives
+// each core a private L1 and private L2 (paper Table II); the L2 miss
+// stream is what reaches the shared memory controller.
+package cache
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/event"
+	"bwpart/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineBytes  int
+	HitLatency int64 // cycles from access to data for a hit
+	MSHRs      int   // max distinct outstanding miss lines
+	// PrefetchDepth enables a next-line prefetcher: on a demand miss for
+	// line L, lines L+1..L+PrefetchDepth are fetched too (when MSHRs
+	// allow). Zero disables prefetching. Prefetching hides latency on
+	// streams at the cost of extra bandwidth demand.
+	PrefetchDepth int
+}
+
+// L1D returns the paper's L1 data cache: 32 KB, 2-way, 64 B lines, 1 ns
+// (5 cycles at 5 GHz).
+func L1D() Config {
+	return Config{Name: "L1", SizeBytes: 32 << 10, Ways: 2, LineBytes: 64, HitLatency: 5, MSHRs: 8}
+}
+
+// L2 returns the paper's private unified L2: 256 KB, 8-way, 64 B lines,
+// 5 ns (25 cycles at 5 GHz).
+func L2() Config {
+	return Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, HitLatency: 25, MSHRs: 16}
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return errors.New("cache: size, ways and line bytes must be positive")
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache: size %d not divisible by ways*line %d", c.SizeBytes, c.Ways*c.LineBytes)
+	case c.HitLatency < 0:
+		return errors.New("cache: negative hit latency")
+	case c.MSHRs <= 0:
+		return errors.New("cache: need at least one MSHR")
+	case c.PrefetchDepth < 0:
+		return errors.New("cache: negative prefetch depth")
+	}
+	numSets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if numSets&(numSets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", numSets)
+	}
+	return nil
+}
+
+type line struct {
+	tag        uint64
+	valid      bool
+	dirty      bool
+	prefetched bool   // brought in by the prefetcher, not yet demanded
+	used       uint64 // LRU stamp
+}
+
+// mshr tracks one outstanding miss line and the requests merged into it.
+type mshr struct {
+	write    bool // any merged request was a write (line installs dirty)
+	prefetch bool // initiated by the prefetcher, no demand waiter yet
+	waiters  []*mem.Request
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Hits       int64
+	Misses     int64 // distinct line misses sent to the lower level
+	MSHRMerges int64 // accesses folded into an existing outstanding miss
+	Writebacks int64 // dirty victims written to the lower level
+	Rejects    int64 // accesses refused because MSHRs were full
+	// Prefetches counts prefetch fills issued; PrefetchUseful counts
+	// demand accesses that hit a line brought in by a prefetch.
+	Prefetches     int64
+	PrefetchUseful int64
+}
+
+// Cache is one private cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lower    mem.Port
+	events   event.Queue
+	mshrs    map[uint64]*mshr // keyed by line address
+	deferred []*mem.Request   // lower-level requests rejected, to retry
+	lruTick  uint64
+	stats    Stats
+}
+
+// New builds a cache over the given lower level (the next cache or the
+// memory controller).
+func New(cfg Config, lower mem.Port) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lower == nil {
+		return nil, errors.New("cache: nil lower level")
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(numSets - 1),
+		lower:   lower,
+		mshrs:   make(map[uint64]*mshr),
+	}, nil
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr / uint64(c.cfg.LineBytes) }
+func (c *Cache) setIndex(la uint64) uint64   { return la & c.setMask }
+func (c *Cache) tag(la uint64) uint64        { return la >> 0 } // full line addr as tag (index re-derived)
+
+// lookup returns the way holding la, or -1.
+func (c *Cache) lookup(la uint64) int {
+	set := c.sets[c.setIndex(la)]
+	t := c.tag(la)
+	for w := range set {
+		if set[w].valid && set[w].tag == t {
+			return w
+		}
+	}
+	return -1
+}
+
+// Access implements mem.Port. A hit schedules the requester's callback at
+// now+HitLatency. A miss allocates an MSHR (merging with an outstanding
+// miss for the same line) and forwards a fill to the lower level; Access
+// returns false when no MSHR is free, and the caller must retry later.
+func (c *Cache) Access(now int64, req *mem.Request) bool {
+	la := c.lineAddr(req.Addr)
+	if w := c.lookup(la); w >= 0 {
+		set := c.sets[c.setIndex(la)]
+		c.lruTick++
+		set[w].used = c.lruTick
+		if set[w].prefetched {
+			set[w].prefetched = false
+			c.stats.PrefetchUseful++
+		}
+		if req.Write {
+			set[w].dirty = true
+		}
+		c.stats.Hits++
+		if req.Done != nil {
+			done := req.Done
+			c.events.At(now+c.cfg.HitLatency, func() { done(now + c.cfg.HitLatency) })
+		}
+		return true
+	}
+
+	// Miss: merge into an outstanding fill when possible.
+	if m, ok := c.mshrs[la]; ok {
+		m.waiters = append(m.waiters, req)
+		if req.Write {
+			m.write = true
+		}
+		if m.prefetch {
+			// A demand access caught up with an in-flight prefetch: the
+			// prefetch was timely.
+			m.prefetch = false
+			c.stats.PrefetchUseful++
+		}
+		c.stats.MSHRMerges++
+		return true
+	}
+	if len(c.mshrs) >= c.cfg.MSHRs {
+		c.stats.Rejects++
+		return false
+	}
+	m := &mshr{write: req.Write, waiters: []*mem.Request{req}}
+	c.mshrs[la] = m
+	c.stats.Misses++
+
+	fillAddr := la * uint64(c.cfg.LineBytes)
+	app := req.App
+	fill := &mem.Request{
+		App:  app,
+		Addr: fillAddr,
+		Done: func(cycle int64) { c.fill(cycle, la) },
+	}
+	// The tag lookup takes HitLatency before the miss can go out.
+	c.events.At(now+c.cfg.HitLatency, func() { c.sendLower(now+c.cfg.HitLatency, fill) })
+	c.prefetchAfterMiss(now, la, app)
+	return true
+}
+
+// prefetchAfterMiss issues next-line prefetches for the lines following a
+// demand miss, as far as PrefetchDepth and free MSHRs allow.
+func (c *Cache) prefetchAfterMiss(now int64, la uint64, app int) {
+	for d := 1; d <= c.cfg.PrefetchDepth; d++ {
+		pl := la + uint64(d)
+		if len(c.mshrs) >= c.cfg.MSHRs {
+			return
+		}
+		if w := c.lookup(pl); w >= 0 {
+			continue
+		}
+		if _, ok := c.mshrs[pl]; ok {
+			continue
+		}
+		target := pl
+		c.mshrs[target] = &mshr{prefetch: true}
+		c.stats.Prefetches++
+		fill := &mem.Request{
+			App:  app,
+			Addr: target * uint64(c.cfg.LineBytes),
+			Done: func(cycle int64) { c.fill(cycle, target) },
+		}
+		c.events.At(now+c.cfg.HitLatency, func() { c.sendLower(now+c.cfg.HitLatency, fill) })
+	}
+}
+
+// sendLower forwards a request to the lower level, deferring it for retry
+// if the lower level cannot accept it this cycle.
+func (c *Cache) sendLower(now int64, req *mem.Request) {
+	if !c.lower.Access(now, req) {
+		c.deferred = append(c.deferred, req)
+	}
+}
+
+// fill installs line la on miss completion, evicting (and writing back) a
+// victim, and wakes every merged waiter.
+func (c *Cache) fill(now int64, la uint64) {
+	m := c.mshrs[la]
+	if m == nil {
+		panic(fmt.Sprintf("cache %s: fill without MSHR for line %#x", c.cfg.Name, la))
+	}
+	delete(c.mshrs, la)
+
+	set := c.sets[c.setIndex(la)]
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].used < set[victim].used {
+			victim = w
+		}
+	}
+	v := &set[victim]
+	if v.valid && v.dirty {
+		c.stats.Writebacks++
+		wbApp := 0
+		if len(m.waiters) > 0 {
+			wbApp = m.waiters[0].App
+		}
+		wb := &mem.Request{
+			App:   wbApp,
+			Addr:  c.victimAddr(v.tag),
+			Write: true,
+		}
+		c.sendLower(now, wb)
+	}
+	c.lruTick++
+	*v = line{tag: c.tag(la), valid: true, dirty: m.write, prefetched: m.prefetch, used: c.lruTick}
+
+	for _, req := range m.waiters {
+		if req.Done != nil {
+			req.Done(now)
+		}
+	}
+}
+
+// victimAddr reconstructs the byte address of an evicted line from its tag.
+func (c *Cache) victimAddr(tag uint64) uint64 {
+	return tag * uint64(c.cfg.LineBytes)
+}
+
+// Tick runs due events (hit callbacks, delayed miss sends) and retries
+// deferred lower-level requests.
+func (c *Cache) Tick(now int64) {
+	c.events.RunUntil(now)
+	if len(c.deferred) == 0 {
+		return
+	}
+	kept := c.deferred[:0]
+	for i, req := range c.deferred {
+		if !c.lower.Access(now, req) {
+			// Preserve order: once one fails, keep the rest for next cycle.
+			kept = append(kept, c.deferred[i:]...)
+			break
+		}
+	}
+	c.deferred = kept
+}
+
+// OutstandingMisses returns the number of in-flight miss lines.
+func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }
+
+// Touch installs addr's line functionally (no timing, no events): used for
+// fast-forward cache warmup before timed simulation, mirroring the paper's
+// 500M-instruction atomic-mode warmup. The write flag propagates down so
+// lower levels reach steady-state dirtiness (their dirty lines will
+// generate writebacks once timed eviction begins); functional victims are
+// dropped silently (memory holds no simulated data).
+func (c *Cache) Touch(addr uint64, write bool) {
+	la := c.lineAddr(addr)
+	if w := c.lookup(la); w >= 0 {
+		set := c.sets[c.setIndex(la)]
+		c.lruTick++
+		set[w].used = c.lruTick
+		if write {
+			set[w].dirty = true
+		}
+		return
+	}
+	if t, ok := c.lower.(interface{ Touch(uint64, bool) }); ok {
+		t.Touch(addr, write)
+	}
+	set := c.sets[c.setIndex(la)]
+	victim := 0
+	for w := range set {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].used < set[victim].used {
+			victim = w
+		}
+	}
+	c.lruTick++
+	set[victim] = line{tag: c.tag(la), valid: true, dirty: write, used: c.lruTick}
+}

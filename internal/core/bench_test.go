@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwpart/internal/metrics"
+)
+
+func benchWorkload(n int) (apc, api []float64, b float64) {
+	r := rand.New(rand.NewSource(7))
+	apc = make([]float64, n)
+	api = make([]float64, n)
+	var total float64
+	for i := range apc {
+		apc[i] = 0.001 + 0.009*r.Float64()
+		api[i] = 0.002 + 0.05*r.Float64()
+		total += apc[i]
+	}
+	return apc, api, total * 0.6
+}
+
+// BenchmarkAllocateWeight measures water-filling allocation (4..64 apps).
+func BenchmarkAllocateWeight(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		apc, api, budget := benchWorkload(n)
+		s := SquareRoot()
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Allocate(apc, api, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocatePriority measures the greedy knapsack allocation.
+func BenchmarkAllocatePriority(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		apc, api, budget := benchWorkload(n)
+		s := PriorityAPC()
+		b.Run(itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Allocate(apc, api, budget); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizer measures the numeric optimality checker.
+func BenchmarkOptimizer(b *testing.B) {
+	apc, api, budget := benchWorkload(4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaximizeObjective(metrics.ObjectiveHsp, apc, api, budget,
+			OptOptions{Iters: 100, Restarts: 2, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQoSAllocate measures the QoS allocation path.
+func BenchmarkQoSAllocate(b *testing.B) {
+	apc, api, budget := benchWorkload(8)
+	gs := []Guarantee{{App: 0, TargetIPC: apc[0] / api[0] * 0.5}}
+	for i := 0; i < b.N; i++ {
+		if _, err := QoSAllocate(SquareRoot(), apc, api, budget, gs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	switch n {
+	case 4:
+		return "apps=4"
+	case 16:
+		return "apps=16"
+	case 64:
+		return "apps=64"
+	default:
+		return "apps"
+	}
+}

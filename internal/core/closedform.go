@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"bwpart/internal/mathx"
+)
+
+// The closed forms below assume the regime the paper derives them in: the
+// bandwidth constraint is tight (B <= total alone demand) and no per-app
+// cap binds under the respective allocation. Feasible checks are included
+// so callers learn when a formula leaves its validity region.
+
+func sqrtSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += math.Sqrt(x)
+	}
+	return s
+}
+
+func invSqrtSum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += 1 / math.Sqrt(x)
+	}
+	return s
+}
+
+// sqrtFeasible reports whether the Square_root allocation stays within every
+// application's alone-mode cap: B*sqrt(a_i)/sum_j sqrt(a_j) <= a_i for all i.
+func sqrtFeasible(apcAlone []float64, b float64) bool {
+	ss := sqrtSum(apcAlone)
+	for _, a := range apcAlone {
+		if b*math.Sqrt(a)/ss > a*(1+1e-12) {
+			return false
+		}
+	}
+	return true
+}
+
+var errInfeasible = errors.New("core: closed form outside its validity region (a per-app cap binds)")
+
+// MaxHsp returns the paper's Eq. 4: the maximum achievable harmonic
+// weighted speedup, N*B / (sum_i sqrt(APC_alone,i))^2, attained by the
+// Square_root partitioning.
+func MaxHsp(apcAlone []float64, b float64) (float64, error) {
+	if len(apcAlone) == 0 || !mathx.AllPositive(apcAlone) || b <= 0 {
+		return 0, errors.New("core: invalid inputs")
+	}
+	if !sqrtFeasible(apcAlone, b) {
+		return 0, errInfeasible
+	}
+	ss := sqrtSum(apcAlone)
+	return float64(len(apcAlone)) * b / (ss * ss), nil
+}
+
+// SqrtWsp returns the weighted speedup achieved by the Square_root
+// partitioning:
+//
+//	Wsp = (B/N) * (sum_i 1/sqrt(a_i)) / (sum_i sqrt(a_i))
+//
+// Note: the paper's Eq. 6 prints this with the inverse-sqrt sum squared,
+// which is dimensionally consistent but contradicts direct evaluation of
+// Eq. 9 under the Eq. 5 allocation (it can exceed the knapsack optimum).
+// We implement the algebraically correct form; the property tests verify it
+// against brute-force evaluation, and EXPERIMENTS.md documents the erratum.
+func SqrtWsp(apcAlone []float64, b float64) (float64, error) {
+	if len(apcAlone) == 0 || !mathx.AllPositive(apcAlone) || b <= 0 {
+		return 0, errors.New("core: invalid inputs")
+	}
+	if !sqrtFeasible(apcAlone, b) {
+		return 0, errInfeasible
+	}
+	n := float64(len(apcAlone))
+	return b / n * invSqrtSum(apcAlone) / sqrtSum(apcAlone), nil
+}
+
+// PropHspWsp returns the paper's Eq. 8: under Proportional partitioning the
+// harmonic weighted speedup and the weighted speedup coincide at
+// B / sum_i APC_alone,i (every application gets the same speedup).
+func PropHspWsp(apcAlone []float64, b float64) (float64, error) {
+	if len(apcAlone) == 0 || !mathx.AllPositive(apcAlone) || b <= 0 {
+		return 0, errors.New("core: invalid inputs")
+	}
+	total := mathx.Sum(apcAlone)
+	if b > total*(1+1e-12) {
+		// Proportional scaling beyond total demand would exceed caps.
+		return 0, errInfeasible
+	}
+	return b / total, nil
+}
+
+// CauchyOrdering verifies the paper's Cauchy-inequality claims for a given
+// workload: Hsp_sqrt >= Hsp_prop and Wsp_sqrt >= Wsp_prop. It returns an
+// error when inputs leave the closed forms' validity region.
+func CauchyOrdering(apcAlone []float64, b float64) (sqrtBetter bool, err error) {
+	hs, err := MaxHsp(apcAlone, b)
+	if err != nil {
+		return false, err
+	}
+	ws, err := SqrtWsp(apcAlone, b)
+	if err != nil {
+		return false, err
+	}
+	hp, err := PropHspWsp(apcAlone, b)
+	if err != nil {
+		return false, err
+	}
+	const tol = 1e-9
+	return hs+tol >= hp && ws+tol >= hp, nil
+}

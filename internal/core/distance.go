@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"bwpart/internal/mathx"
+	"bwpart/internal/metrics"
+)
+
+// The paper's Sec. III-F observes that "for other bandwidth partitioning
+// schemes, the closer it is to our optimal partitioning scheme, the better
+// performance it will achieve". This file makes that claim quantitative:
+// a distance between allocations, and a check that objective values are
+// monotonically non-increasing in distance from the optimum across the
+// scheme family.
+
+// AllocationDistance returns the total-variation style distance between
+// two allocations of the same bandwidth: half the L1 distance divided by
+// the common total, in [0, 1]. Zero means identical bandwidth splits.
+func AllocationDistance(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0, errors.New("core: allocations must be non-empty and equal length")
+	}
+	ta, tb := mathx.Sum(a), mathx.Sum(b)
+	if ta <= 0 || tb <= 0 {
+		return 0, errors.New("core: allocations must have positive totals")
+	}
+	// Compare shapes: normalize each to shares before differencing, so two
+	// allocations of slightly different measured totals remain comparable.
+	var l1 float64
+	for i := range a {
+		l1 += math.Abs(a[i]/ta - b[i]/tb)
+	}
+	return l1 / 2, nil
+}
+
+// SchemeDistanceRow pairs a scheme with its distance from the optimal
+// allocation and its predicted objective value.
+type SchemeDistanceRow struct {
+	Scheme   string
+	Distance float64
+	Value    float64
+}
+
+// DistanceStudy evaluates every scheme for one objective on one workload:
+// distance from the optimal scheme's allocation vs achieved (model-
+// predicted) objective value.
+func DistanceStudy(obj metrics.Objective, apcAlone, api []float64, b float64) ([]SchemeDistanceRow, error) {
+	opt, err := OptimalFor(obj)
+	if err != nil {
+		return nil, err
+	}
+	optAlloc, err := opt.Allocate(apcAlone, api, b)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SchemeDistanceRow, 0, len(Schemes()))
+	for _, s := range Schemes() {
+		alloc, err := s.Allocate(apcAlone, api, b)
+		if err != nil {
+			return nil, err
+		}
+		d, err := AllocationDistance(alloc, optAlloc)
+		if err != nil {
+			return nil, err
+		}
+		v, err := EvaluateAllocation(obj, alloc, apcAlone, api)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SchemeDistanceRow{Scheme: s.Name(), Distance: d, Value: v})
+	}
+	return rows, nil
+}
+
+// CloserIsBetter reports whether, within the given rows, objective values
+// are non-increasing in distance (allowing tol slack for near-ties): the
+// paper's Sec. III-F claim. Rows may be in any order.
+func CloserIsBetter(rows []SchemeDistanceRow, tol float64) bool {
+	for i := range rows {
+		for j := range rows {
+			if rows[i].Distance < rows[j].Distance-1e-12 {
+				// Strictly closer scheme must not be more than tol worse.
+				if rows[i].Value < rows[j].Value*(1-tol) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

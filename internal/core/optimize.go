@@ -1,0 +1,165 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"bwpart/internal/mathx"
+	"bwpart/internal/metrics"
+)
+
+// OptOptions tunes the numeric optimizer used to cross-validate the
+// derived optimal schemes. Zero values select sensible defaults.
+type OptOptions struct {
+	Iters    int   // gradient steps per start (default 400)
+	Restarts int   // random starting points in addition to scheme warm starts (default 8)
+	Seed     int64 // PRNG seed for restarts
+}
+
+func (o OptOptions) withDefaults() OptOptions {
+	if o.Iters <= 0 {
+		o.Iters = 400
+	}
+	if o.Restarts < 0 {
+		o.Restarts = 0
+	} else if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+	return o
+}
+
+// MaximizeObjective numerically maximizes obj over the feasible allocation
+// polytope {x : sum x = min(B, sum a), 0 <= x_i <= a_i} using projected
+// (sub)gradient ascent with multiple starts. It exists to verify the
+// paper's derivations independently of them: the unit tests check that no
+// allocation beats the derived optimal scheme by more than numerical
+// tolerance.
+func MaximizeObjective(obj metrics.Objective, apcAlone, api []float64, b float64, opt OptOptions) (best []float64, bestVal float64, err error) {
+	if err := checkInputs(apcAlone, api, b); err != nil {
+		return nil, 0, err
+	}
+	opt = opt.withDefaults()
+	n := len(apcAlone)
+	budget := math.Min(b, mathx.Sum(apcAlone))
+
+	eval := func(x []float64) float64 {
+		v, evalErr := EvaluateAllocation(obj, x, apcAlone, api)
+		if evalErr != nil {
+			return math.Inf(-1)
+		}
+		return v
+	}
+
+	// Warm starts: every scheme's allocation (each is optimal for some
+	// objective) plus random feasible points.
+	var starts [][]float64
+	for _, s := range Schemes() {
+		if x, allocErr := s.Allocate(apcAlone, api, b); allocErr == nil {
+			starts = append(starts, x)
+		}
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	for r := 0; r < opt.Restarts; r++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		starts = append(starts, projectCappedSimplex(x, apcAlone, budget))
+	}
+
+	bestVal = math.Inf(-1)
+	for _, start := range starts {
+		x, v := ascend(eval, start, apcAlone, budget, opt.Iters)
+		if v > bestVal {
+			bestVal = v
+			best = x
+		}
+	}
+	if best == nil {
+		return nil, 0, errors.New("core: optimizer found no feasible point")
+	}
+	return best, bestVal, nil
+}
+
+// ascend runs projected gradient ascent with numerical gradients and a
+// decaying step, returning the best iterate seen.
+func ascend(eval func([]float64) float64, start, caps []float64, budget float64, iters int) ([]float64, float64) {
+	n := len(start)
+	x := append([]float64(nil), start...)
+	bestX := append([]float64(nil), x...)
+	bestV := eval(x)
+	grad := make([]float64, n)
+	h := budget * 1e-6
+	if h == 0 {
+		h = 1e-9
+	}
+	step0 := budget * 0.25
+	for it := 0; it < iters; it++ {
+		// Central-difference gradient on the unconstrained extension.
+		for i := 0; i < n; i++ {
+			orig := x[i]
+			x[i] = orig + h
+			fp := eval(x)
+			x[i] = orig - h
+			fm := eval(x)
+			x[i] = orig
+			grad[i] = (fp - fm) / (2 * h)
+		}
+		// Normalize gradient scale so the step size is geometry-driven.
+		var gn float64
+		for _, g := range grad {
+			gn += g * g
+		}
+		gn = math.Sqrt(gn)
+		if gn == 0 || math.IsNaN(gn) || math.IsInf(gn, 0) {
+			break
+		}
+		step := step0 / (1 + float64(it)/8)
+		for i := 0; i < n; i++ {
+			x[i] += step * grad[i] / gn
+		}
+		x = projectCappedSimplex(x, caps, budget)
+		if v := eval(x); v > bestV {
+			bestV = v
+			copy(bestX, x)
+		}
+	}
+	return bestX, bestV
+}
+
+// projectCappedSimplex returns the Euclidean projection of y onto
+// {x : sum x = budget, 0 <= x_i <= caps_i}, computed by bisection on the
+// shift lambda in x_i = clamp(y_i - lambda, 0, caps_i).
+func projectCappedSimplex(y, caps []float64, budget float64) []float64 {
+	n := len(y)
+	out := make([]float64, n)
+	sumAt := func(lambda float64) float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += mathx.Clamp(y[i]-lambda, 0, caps[i])
+		}
+		return s
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		lo = math.Min(lo, y[i]-caps[i])
+		hi = math.Max(hi, y[i])
+	}
+	lo -= 1
+	hi += 1
+	// sumAt is non-increasing in lambda: bisection.
+	for it := 0; it < 100; it++ {
+		mid := (lo + hi) / 2
+		if sumAt(mid) > budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	lambda := (lo + hi) / 2
+	for i := 0; i < n; i++ {
+		out[i] = mathx.Clamp(y[i]-lambda, 0, caps[i])
+	}
+	return out
+}

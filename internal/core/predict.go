@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/metrics"
+)
+
+// PredictIPC translates a bandwidth allocation into per-application IPC via
+// Eq. 1 of the paper: IPC_i = APC_shared,i / API_i.
+func PredictIPC(apcShared, api []float64) ([]float64, error) {
+	if len(apcShared) == 0 || len(apcShared) != len(api) {
+		return nil, errors.New("core: bad input lengths")
+	}
+	out := make([]float64, len(apcShared))
+	for i := range apcShared {
+		if api[i] <= 0 {
+			return nil, fmt.Errorf("core: non-positive API at %d", i)
+		}
+		if apcShared[i] < 0 {
+			return nil, fmt.Errorf("core: negative APC_shared at %d", i)
+		}
+		out[i] = apcShared[i] / api[i]
+	}
+	return out, nil
+}
+
+// AloneIPC returns the alone-mode IPC vector implied by APC_alone and API.
+func AloneIPC(apcAlone, api []float64) ([]float64, error) {
+	return PredictIPC(apcAlone, api)
+}
+
+// Evaluate predicts the value of an objective under a scheme: it allocates
+// bandwidth with the scheme, converts APC to IPC, and evaluates the metric
+// against alone-mode IPCs. This is the model's end-to-end "what would this
+// partitioning do to this metric" query (Sec. III-F).
+func Evaluate(obj metrics.Objective, s Scheme, apcAlone, api []float64, b float64) (float64, error) {
+	apcShared, err := s.Allocate(apcAlone, api, b)
+	if err != nil {
+		return 0, err
+	}
+	return EvaluateAllocation(obj, apcShared, apcAlone, api)
+}
+
+// EvaluateAllocation computes an objective for an explicit allocation.
+func EvaluateAllocation(obj metrics.Objective, apcShared, apcAlone, api []float64) (float64, error) {
+	shared, err := PredictIPC(apcShared, api)
+	if err != nil {
+		return 0, err
+	}
+	alone, err := AloneIPC(apcAlone, api)
+	if err != nil {
+		return 0, err
+	}
+	return obj.Eval(shared, alone)
+}

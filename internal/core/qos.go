@@ -1,0 +1,93 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Guarantee pins one application's performance: the allocator reserves
+// exactly the bandwidth that yields TargetIPC (B_QoS = IPC_target * API,
+// paper Sec. III-G).
+type Guarantee struct {
+	App       int
+	TargetIPC float64
+}
+
+// QoSAllocation is the result of a QoS-aware partitioning.
+type QoSAllocation struct {
+	APCShared  []float64 // per-app allocation (guaranteed + best effort)
+	BQoS       float64   // bandwidth reserved for guarantees (Eq. 11)
+	BBE        float64   // bandwidth left to the best-effort group
+	BestEffort []int     // indices of best-effort applications
+}
+
+// QoSAllocate implements the paper's QoS-guarantee partitioning (Eq. 11):
+// guaranteed applications receive IPC_target*API each; the remaining
+// bandwidth B_BE = B - B_QoS is split among the best-effort applications by
+// the given scheme (whose objective the operator wants maximized for the
+// best-effort group).
+func QoSAllocate(s Scheme, apcAlone, api []float64, b float64, guarantees []Guarantee) (*QoSAllocation, error) {
+	if s == nil {
+		return nil, errors.New("core: nil scheme")
+	}
+	if err := checkInputs(apcAlone, api, b); err != nil {
+		return nil, err
+	}
+	n := len(apcAlone)
+	reserved := make([]float64, n)
+	isGuaranteed := make([]bool, n)
+	var bQoS float64
+	for _, g := range guarantees {
+		if g.App < 0 || g.App >= n {
+			return nil, fmt.Errorf("core: guarantee for unknown app %d", g.App)
+		}
+		if isGuaranteed[g.App] {
+			return nil, fmt.Errorf("core: duplicate guarantee for app %d", g.App)
+		}
+		if g.TargetIPC <= 0 {
+			return nil, fmt.Errorf("core: guarantee for app %d must have positive target IPC", g.App)
+		}
+		need := g.TargetIPC * api[g.App]
+		if need > apcAlone[g.App]*(1+1e-9) {
+			return nil, fmt.Errorf("core: app %d target IPC %.4g exceeds its alone-mode IPC %.4g",
+				g.App, g.TargetIPC, apcAlone[g.App]/api[g.App])
+		}
+		isGuaranteed[g.App] = true
+		reserved[g.App] = need
+		bQoS += need
+	}
+	if bQoS > b {
+		return nil, fmt.Errorf("core: guarantees need %.4g bandwidth but only %.4g available", bQoS, b)
+	}
+
+	var beIdx []int
+	for i := 0; i < n; i++ {
+		if !isGuaranteed[i] {
+			beIdx = append(beIdx, i)
+		}
+	}
+	out := &QoSAllocation{
+		APCShared:  reserved,
+		BQoS:       bQoS,
+		BBE:        b - bQoS,
+		BestEffort: beIdx,
+	}
+	if len(beIdx) == 0 || out.BBE <= 0 {
+		return out, nil
+	}
+
+	beAlone := make([]float64, len(beIdx))
+	beAPI := make([]float64, len(beIdx))
+	for k, i := range beIdx {
+		beAlone[k] = apcAlone[i]
+		beAPI[k] = api[i]
+	}
+	beAlloc, err := s.Allocate(beAlone, beAPI, out.BBE)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range beIdx {
+		out.APCShared[i] = beAlloc[k]
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bwpart/internal/mathx"
+)
+
+func qosWorkload() (apc, api []float64, b float64) {
+	// Four apps, hmmer-like app 3 to be guaranteed.
+	apc = []float64{0.009, 0.007, 0.005, 0.0053}
+	api = []float64{0.053, 0.034, 0.030, 0.0046}
+	return apc, api, 0.01
+}
+
+func TestQoSAllocateReservesExactly(t *testing.T) {
+	apc, api, b := qosWorkload()
+	target := 0.6
+	alloc, err := QoSAllocate(PriorityAPC(), apc, api, b, []Guarantee{{App: 3, TargetIPC: target}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAPC := target * api[3]
+	if math.Abs(alloc.APCShared[3]-wantAPC) > 1e-12 {
+		t.Fatalf("guaranteed app got %v, want %v", alloc.APCShared[3], wantAPC)
+	}
+	if math.Abs(alloc.BQoS-wantAPC) > 1e-12 {
+		t.Fatalf("BQoS = %v, want %v", alloc.BQoS, wantAPC)
+	}
+	if math.Abs(alloc.BBE-(b-wantAPC)) > 1e-12 {
+		t.Fatalf("BBE = %v", alloc.BBE)
+	}
+	// Guaranteed IPC follows from Eq. 1.
+	ipc, _ := PredictIPC(alloc.APCShared, api)
+	if math.Abs(ipc[3]-target) > 1e-9 {
+		t.Fatalf("guaranteed IPC = %v, want %v", ipc[3], target)
+	}
+}
+
+func TestQoSBestEffortUsesScheme(t *testing.T) {
+	apc, api, b := qosWorkload()
+	alloc, err := QoSAllocate(Proportional(), apc, api, b, []Guarantee{{App: 3, TargetIPC: 0.6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best-effort apps must share BBE proportionally to their APC_alone.
+	be := alloc.BestEffort
+	if len(be) != 3 {
+		t.Fatalf("best effort = %v", be)
+	}
+	var sum float64
+	for _, i := range be {
+		sum += alloc.APCShared[i]
+	}
+	if math.Abs(sum-alloc.BBE) > 1e-9 {
+		t.Fatalf("best-effort allocation %v does not consume BBE %v", sum, alloc.BBE)
+	}
+	r01 := alloc.APCShared[be[0]] / alloc.APCShared[be[1]]
+	want01 := apc[be[0]] / apc[be[1]]
+	if math.Abs(r01-want01) > 1e-6 {
+		t.Fatalf("proportionality broken: %v vs %v", r01, want01)
+	}
+}
+
+func TestQoSTotalConserved(t *testing.T) {
+	apc, api, b := qosWorkload()
+	for _, s := range Schemes() {
+		alloc, err := QoSAllocate(s, apc, api, b, []Guarantee{{App: 3, TargetIPC: 0.6}})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		total := mathx.Sum(alloc.APCShared)
+		// Whole budget used unless best-effort demand is the binding limit.
+		maxUsable := alloc.BQoS
+		for _, i := range alloc.BestEffort {
+			maxUsable += apc[i]
+		}
+		want := math.Min(b, maxUsable)
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("%s: allocated %v, want %v", s.Name(), total, want)
+		}
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	apc, api, b := qosWorkload()
+	cases := []struct {
+		name string
+		gs   []Guarantee
+	}{
+		{"unknown app", []Guarantee{{App: 9, TargetIPC: 0.5}}},
+		{"negative app", []Guarantee{{App: -1, TargetIPC: 0.5}}},
+		{"duplicate", []Guarantee{{App: 1, TargetIPC: 0.1}, {App: 1, TargetIPC: 0.2}}},
+		{"zero target", []Guarantee{{App: 1, TargetIPC: 0}}},
+		{"beyond alone IPC", []Guarantee{{App: 3, TargetIPC: 5}}},
+	}
+	for _, c := range cases {
+		if _, err := QoSAllocate(Equal(), apc, api, b, c.gs); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+	if _, err := QoSAllocate(nil, apc, api, b, nil); err == nil {
+		t.Error("nil scheme accepted")
+	}
+}
+
+func TestQoSInfeasibleBudget(t *testing.T) {
+	apc := []float64{0.01, 0.01}
+	api := []float64{0.01, 0.01}
+	// Each guarantee needs 0.008; two of them exceed B = 0.01.
+	gs := []Guarantee{{App: 0, TargetIPC: 0.8}, {App: 1, TargetIPC: 0.8}}
+	if _, err := QoSAllocate(Equal(), apc, api, 0.01, gs); err == nil {
+		t.Fatal("over-committed guarantees accepted")
+	}
+}
+
+func TestQoSAllGuaranteed(t *testing.T) {
+	apc := []float64{0.01, 0.01}
+	api := []float64{0.01, 0.01}
+	gs := []Guarantee{{App: 0, TargetIPC: 0.3}, {App: 1, TargetIPC: 0.3}}
+	alloc, err := QoSAllocate(Equal(), apc, api, 0.01, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.BestEffort) != 0 {
+		t.Fatalf("best effort = %v, want empty", alloc.BestEffort)
+	}
+	if math.Abs(alloc.APCShared[0]-0.003) > 1e-12 || math.Abs(alloc.APCShared[1]-0.003) > 1e-12 {
+		t.Fatalf("allocation = %v", alloc.APCShared)
+	}
+}

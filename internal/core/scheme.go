@@ -1,0 +1,264 @@
+// Package core implements the paper's analytical model for off-chip memory
+// bandwidth partitioning. The model is built on two facts (Sec. III-A):
+//
+//	IPC_i = APC_i / API_i                  (Eq. 1)
+//	sum_i APC_shared,i = B                 (Eq. 2)
+//
+// so any IPC-based objective becomes a constrained optimization over the
+// APC simplex. The package provides the partitioning schemes the paper
+// studies (Equal, Proportional, Square_root, 2/3_power, Priority_APC,
+// Priority_API), water-filling allocation with APC_alone caps, closed-form
+// performance expressions (Eq. 4, 6, 8), a numeric optimizer used to verify
+// the closed forms, the QoS-guarantee allocator (Eq. 11), and the
+// APC→IPC→objective predictor.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"bwpart/internal/mathx"
+	"bwpart/internal/metrics"
+)
+
+// Scheme is a bandwidth partitioning scheme: a rule that splits total
+// bandwidth B among applications characterized by their alone-mode memory
+// access rates (APC_alone) and access-per-instruction ratios (API).
+type Scheme interface {
+	Name() string
+	// Allocate returns APC_shared per application. The result satisfies
+	// 0 <= APC_shared,i <= APC_alone,i and sums to min(B, sum APC_alone):
+	// an application can never consume more bandwidth than it demands when
+	// running alone, and leftover bandwidth beyond total demand stays
+	// unused.
+	Allocate(apcAlone, api []float64, b float64) ([]float64, error)
+}
+
+func checkInputs(apcAlone, api []float64, b float64) error {
+	if len(apcAlone) == 0 {
+		return errors.New("core: no applications")
+	}
+	if len(api) != len(apcAlone) {
+		return fmt.Errorf("core: api length %d != apcAlone length %d", len(api), len(apcAlone))
+	}
+	if !mathx.AllPositive(apcAlone) {
+		return errors.New("core: APC_alone values must be positive")
+	}
+	if !mathx.AllPositive(api) {
+		return errors.New("core: API values must be positive")
+	}
+	if b <= 0 {
+		return errors.New("core: total bandwidth must be positive")
+	}
+	return nil
+}
+
+// WeightScheme assigns each application a share proportional to a weight
+// derived from its APC_alone: beta_i = w(a_i) / sum_j w(a_j). It covers
+// Equal, Proportional, Square_root and 2/3_power.
+type WeightScheme struct {
+	name   string
+	weight func(apcAlone float64) float64
+}
+
+// Name returns the scheme name.
+func (s *WeightScheme) Name() string { return s.name }
+
+// Shares returns the uncapped share vector beta (sums to 1). This is what
+// the start-time-fair enforcement mechanism consumes.
+func (s *WeightScheme) Shares(apcAlone []float64) ([]float64, error) {
+	if len(apcAlone) == 0 {
+		return nil, errors.New("core: no applications")
+	}
+	if !mathx.AllPositive(apcAlone) {
+		return nil, errors.New("core: APC_alone values must be positive")
+	}
+	w := make([]float64, len(apcAlone))
+	for i, a := range apcAlone {
+		w[i] = s.weight(a)
+		if !(w[i] > 0) || math.IsInf(w[i], 0) {
+			return nil, fmt.Errorf("core: scheme %s produced non-positive weight for APC %v", s.name, a)
+		}
+	}
+	return mathx.Normalize(w)
+}
+
+// Allocate implements Scheme by water-filling: each application receives
+// bandwidth proportional to its weight, but never beyond its alone-mode
+// demand; excess is redistributed among unconstrained applications.
+func (s *WeightScheme) Allocate(apcAlone, api []float64, b float64) ([]float64, error) {
+	if err := checkInputs(apcAlone, api, b); err != nil {
+		return nil, err
+	}
+	shares, err := s.Shares(apcAlone)
+	if err != nil {
+		return nil, err
+	}
+	return waterFill(shares, apcAlone, b), nil
+}
+
+// waterFill distributes budget proportionally to weights subject to caps.
+// Runs at most len(weights) rounds.
+func waterFill(weights, caps []float64, budget float64) []float64 {
+	n := len(weights)
+	out := make([]float64, n)
+	capped := make([]bool, n)
+	remaining := budget
+	for round := 0; round < n; round++ {
+		var wsum float64
+		for i := 0; i < n; i++ {
+			if !capped[i] {
+				wsum += weights[i]
+			}
+		}
+		if wsum == 0 || remaining <= 0 {
+			break
+		}
+		overflow := false
+		for i := 0; i < n; i++ {
+			if capped[i] {
+				continue
+			}
+			x := remaining * weights[i] / wsum
+			if x >= caps[i]-out[i] {
+				// Cap binds: freeze this app at its demand.
+				remaining -= caps[i] - out[i]
+				out[i] = caps[i]
+				capped[i] = true
+				overflow = true
+			}
+		}
+		if !overflow {
+			// No cap binds: hand out the remainder proportionally and stop.
+			for i := 0; i < n; i++ {
+				if !capped[i] {
+					out[i] += remaining * weights[i] / wsum
+				}
+			}
+			remaining = 0
+			break
+		}
+	}
+	return out
+}
+
+// PriorityScheme allocates bandwidth greedily in ascending order of a key:
+// the highest-priority application is filled to its full alone-mode demand
+// before the next receives anything — the fractional-knapsack solution the
+// paper derives for throughput metrics (Sec. III-D, III-E).
+type PriorityScheme struct {
+	name string
+	key  func(apcAlone, api float64) float64
+}
+
+// Name returns the scheme name.
+func (s *PriorityScheme) Name() string { return s.name }
+
+// Order returns application indices from highest to lowest priority
+// (ascending key; ties broken by application index for determinism).
+func (s *PriorityScheme) Order(apcAlone, api []float64) ([]int, error) {
+	if len(apcAlone) == 0 || len(apcAlone) != len(api) {
+		return nil, errors.New("core: bad input lengths")
+	}
+	idx := make([]int, len(apcAlone))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return s.key(apcAlone[idx[x]], api[idx[x]]) < s.key(apcAlone[idx[y]], api[idx[y]])
+	})
+	return idx, nil
+}
+
+// Allocate implements Scheme via the greedy fractional-knapsack fill.
+func (s *PriorityScheme) Allocate(apcAlone, api []float64, b float64) ([]float64, error) {
+	if err := checkInputs(apcAlone, api, b); err != nil {
+		return nil, err
+	}
+	order, err := s.Order(apcAlone, api)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(apcAlone))
+	remaining := b
+	for _, i := range order {
+		if remaining <= 0 {
+			break
+		}
+		grant := math.Min(apcAlone[i], remaining)
+		out[i] = grant
+		remaining -= grant
+	}
+	return out, nil
+}
+
+// Equal returns the Equal partitioning scheme (Nesbit et al.): beta_i = 1/N.
+func Equal() *WeightScheme {
+	return &WeightScheme{name: "equal", weight: func(float64) float64 { return 1 }}
+}
+
+// Proportional returns the paper's optimal scheme for minimum fairness:
+// beta_i proportional to APC_alone,i (Sec. III-C).
+func Proportional() *WeightScheme {
+	return &WeightScheme{name: "proportional", weight: func(a float64) float64 { return a }}
+}
+
+// SquareRoot returns the paper's optimal scheme for harmonic weighted
+// speedup: beta_i proportional to sqrt(APC_alone,i) (Eq. 5).
+func SquareRoot() *WeightScheme {
+	return &WeightScheme{name: "square-root", weight: math.Sqrt}
+}
+
+// TwoThirdsPower returns Liu et al.'s scheme (HPCA'10): beta_i proportional
+// to APC_alone,i^(2/3). The paper evaluates it as a baseline between
+// Square_root and Proportional.
+func TwoThirdsPower() *WeightScheme {
+	return &WeightScheme{name: "two-thirds-power", weight: func(a float64) float64 { return math.Pow(a, 2.0/3.0) }}
+}
+
+// PriorityAPC returns the paper's optimal scheme for weighted speedup:
+// strict priority to applications with lower APC_alone (Sec. III-D).
+func PriorityAPC() *PriorityScheme {
+	return &PriorityScheme{name: "priority-apc", key: func(apc, _ float64) float64 { return apc }}
+}
+
+// PriorityAPI returns the paper's optimal scheme for sum of IPCs: strict
+// priority to applications with lower API (Sec. III-E).
+func PriorityAPI() *PriorityScheme {
+	return &PriorityScheme{name: "priority-api", key: func(_, api float64) float64 { return api }}
+}
+
+// Schemes returns every partitioning scheme evaluated in the paper's
+// Figure 2, in its legend order.
+func Schemes() []Scheme {
+	return []Scheme{Equal(), Proportional(), SquareRoot(), TwoThirdsPower(), PriorityAPC(), PriorityAPI()}
+}
+
+// ByName resolves a scheme name (as reported by Name).
+func ByName(name string) (Scheme, error) {
+	for _, s := range Schemes() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("core: unknown scheme %q", name)
+}
+
+// OptimalFor returns the scheme the model derives as optimal for the given
+// objective (the paper's central result).
+func OptimalFor(obj metrics.Objective) (Scheme, error) {
+	switch obj {
+	case metrics.ObjectiveHsp:
+		return SquareRoot(), nil
+	case metrics.ObjectiveMinFairness:
+		return Proportional(), nil
+	case metrics.ObjectiveWsp:
+		return PriorityAPC(), nil
+	case metrics.ObjectiveIPCSum:
+		return PriorityAPI(), nil
+	default:
+		return nil, fmt.Errorf("core: no optimal scheme for objective %v", obj)
+	}
+}

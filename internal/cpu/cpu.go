@@ -1,0 +1,297 @@
+// Package cpu models an out-of-order core at the level the bandwidth study
+// needs: a reorder buffer with in-order retirement, a dispatch rate that
+// captures the application's inherent ILP, and memory-level parallelism
+// bounded by both the application (dependence chains) and the hardware
+// (cache MSHRs). Loads block retirement at the ROB head until their fill
+// returns, so the core tolerates memory latency up to the ROB/MLP limit and
+// stalls beyond it — the mechanism that makes IPC respond to bandwidth the
+// way the paper's GEM5 cores do.
+package cpu
+
+import (
+	"errors"
+
+	"bwpart/internal/mem"
+)
+
+// Instr is one instruction from a workload stream.
+type Instr struct {
+	Mem   bool   // memory reference?
+	Write bool   // store (posted; does not block retirement)
+	Cold  bool   // expected LLC miss: counts against the MLP bound
+	Addr  uint64 // byte address when Mem
+}
+
+// Stream produces the core's instruction sequence.
+type Stream interface {
+	Next() Instr
+}
+
+// DynamicStream is a Stream whose workload changes behavior over time
+// (program phases): it exposes the core parameters matching the current
+// phase. The core refreshes its ILP ceiling and MLP bound from it
+// periodically.
+type DynamicStream interface {
+	Stream
+	// CoreParams returns the current phase's ILP ceiling and
+	// memory-level-parallelism bound.
+	CoreParams() (baseIPC float64, maxOutstandingLoads int)
+}
+
+// Config describes the core.
+type Config struct {
+	Width   int     // max dispatch and retire per cycle (paper: 8)
+	ROBSize int     // reorder buffer entries (paper: 192)
+	BaseIPC float64 // dispatch rate ceiling from the app's ILP/dependences
+	// MaxOutstandingLoads bounds how many LLC-bound (Cold) loads the app
+	// exposes concurrently — its memory-level parallelism as limited by
+	// dependence chains. Dispatch of a further cold load stalls until one
+	// returns. Cache-hitting loads overlap freely (bounded only by the ROB
+	// and the caches' MSHRs), as they do in a real out-of-order core.
+	MaxOutstandingLoads int
+}
+
+// DefaultConfig returns the paper's core (Table II) with a generic ILP
+// ceiling; workloads override BaseIPC and MaxOutstandingLoads.
+func DefaultConfig() Config {
+	return Config{Width: 8, ROBSize: 192, BaseIPC: 2.0, MaxOutstandingLoads: 8}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Width <= 0:
+		return errors.New("cpu: Width must be positive")
+	case c.ROBSize <= 0:
+		return errors.New("cpu: ROBSize must be positive")
+	case c.BaseIPC <= 0:
+		return errors.New("cpu: BaseIPC must be positive")
+	case c.MaxOutstandingLoads <= 0:
+		return errors.New("cpu: MaxOutstandingLoads must be positive")
+	}
+	return nil
+}
+
+// Stats accumulates core counters over a measurement window.
+type Stats struct {
+	Cycles            int64
+	Retired           int64 // instructions retired
+	Loads             int64 // loads dispatched to the cache
+	Stores            int64 // stores dispatched to the cache
+	ROBFullCycles     int64 // cycles dispatch stalled on a full ROB
+	MLPStallCycles    int64 // cycles dispatch stalled on the load-MLP bound
+	RejectStallCycles int64 // cycles stalled because L1 refused the access
+}
+
+// IPC returns retired instructions per cycle over the window.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// robEntry tracks one in-flight instruction.
+type robEntry struct {
+	done bool
+}
+
+// Core is one simulated core. Drive it with Tick once per cycle.
+type Core struct {
+	cfg    Config
+	app    int
+	l1     mem.Port
+	stream Stream
+
+	rob      []robEntry
+	robHead  int // oldest entry
+	robCount int
+
+	credit           float64
+	outstandingLoads int
+	// dyn, when non-nil, supplies phase-dependent core parameters;
+	// refreshed every paramRefresh cycles.
+	dyn         DynamicStream
+	nextRefresh int64
+	// pending holds a fetched instruction that could not dispatch
+	// (structural stall); it must dispatch before the stream advances.
+	pending    *Instr
+	pendingBuf Instr
+
+	stats Stats
+}
+
+// New builds a core for application app over the given L1 port and
+// instruction stream.
+func New(cfg Config, app int, l1 mem.Port, stream Stream) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if l1 == nil {
+		return nil, errors.New("cpu: nil L1 port")
+	}
+	if stream == nil {
+		return nil, errors.New("cpu: nil instruction stream")
+	}
+	c := &Core{
+		cfg:    cfg,
+		app:    app,
+		l1:     l1,
+		stream: stream,
+		rob:    make([]robEntry, cfg.ROBSize),
+	}
+	if dyn, ok := stream.(DynamicStream); ok {
+		c.dyn = dyn
+	}
+	return c, nil
+}
+
+// paramRefresh is how often (in cycles) a core re-reads phase-dependent
+// parameters from a DynamicStream.
+const paramRefresh = 1024
+
+// refreshParams pulls the current phase's parameters from the stream.
+func (c *Core) refreshParams(now int64) {
+	if c.dyn == nil || now < c.nextRefresh {
+		return
+	}
+	c.nextRefresh = now + paramRefresh
+	baseIPC, mlp := c.dyn.CoreParams()
+	if baseIPC > 0 {
+		c.cfg.BaseIPC = baseIPC
+	}
+	if mlp > 0 {
+		c.cfg.MaxOutstandingLoads = mlp
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the measurement counters without disturbing
+// microarchitectural state, so a measurement window can start mid-stream.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Tick advances the core one cycle: retire from the ROB head, then dispatch
+// new instructions up to the width/ILP/structural limits.
+func (c *Core) Tick(now int64) {
+	c.stats.Cycles++
+	c.refreshParams(now)
+	c.retire()
+	c.dispatch(now)
+}
+
+func (c *Core) retire() {
+	for n := 0; n < c.cfg.Width && c.robCount > 0; n++ {
+		e := &c.rob[c.robHead]
+		if !e.done {
+			return // in-order retirement blocks on the oldest instruction
+		}
+		c.robHead = (c.robHead + 1) % c.cfg.ROBSize
+		c.robCount--
+		c.stats.Retired++
+	}
+}
+
+func (c *Core) dispatch(now int64) {
+	// Fractional dispatch credit models a sub-Width ILP ceiling; unused
+	// credit does not bank beyond one cycle's width.
+	c.credit += c.cfg.BaseIPC
+	if max := float64(c.cfg.Width); c.credit > max {
+		c.credit = max
+	}
+	stalled := false
+	for c.credit >= 1 {
+		if c.robCount >= c.cfg.ROBSize {
+			c.stats.ROBFullCycles++
+			return
+		}
+		instr := c.pending
+		if instr == nil {
+			c.pendingBuf = c.stream.Next()
+			instr = &c.pendingBuf
+		}
+		if instr.Mem {
+			if !instr.Write && instr.Cold && c.outstandingLoads >= c.cfg.MaxOutstandingLoads {
+				c.stats.MLPStallCycles++
+				c.pending = instr
+				return
+			}
+			if !c.issueMem(now, instr) {
+				if !stalled {
+					c.stats.RejectStallCycles++
+					stalled = true
+				}
+				c.pending = instr
+				return
+			}
+		} else {
+			c.pushROB(true)
+		}
+		c.pending = nil
+		c.credit--
+	}
+}
+
+// issueMem sends a memory instruction to the L1. Loads allocate a ROB slot
+// completed by the fill callback; stores are posted and retire immediately.
+// Returns false when the L1 refused the access (MSHRs full).
+func (c *Core) issueMem(now int64, instr *Instr) bool {
+	if instr.Write {
+		ok := c.l1.Access(now, &mem.Request{App: c.app, Addr: instr.Addr, Write: true})
+		if ok {
+			c.stats.Stores++
+			c.pushROB(true)
+		}
+		return ok
+	}
+	slot := c.reserveROB()
+	cold := instr.Cold
+	ok := c.l1.Access(now, &mem.Request{
+		App:  c.app,
+		Addr: instr.Addr,
+		Done: func(int64) {
+			c.rob[slot].done = true
+			if cold {
+				c.outstandingLoads--
+			}
+		},
+	})
+	if !ok {
+		c.unreserveROB()
+		return false
+	}
+	c.stats.Loads++
+	if cold {
+		c.outstandingLoads++
+	}
+	return true
+}
+
+// pushROB appends an entry with the given done state.
+func (c *Core) pushROB(done bool) {
+	slot := c.reserveROB()
+	c.rob[slot].done = done
+}
+
+// reserveROB allocates the next ROB slot (caller checked capacity).
+func (c *Core) reserveROB() int {
+	slot := (c.robHead + c.robCount) % c.cfg.ROBSize
+	c.rob[slot] = robEntry{}
+	c.robCount++
+	return slot
+}
+
+// unreserveROB rolls back the most recent reservation (L1 reject path).
+func (c *Core) unreserveROB() {
+	c.robCount--
+}
+
+// ROBOccupancy returns the number of in-flight instructions.
+func (c *Core) ROBOccupancy() int { return c.robCount }
+
+// OutstandingLoads returns the number of loads awaiting data.
+func (c *Core) OutstandingLoads() int { return c.outstandingLoads }
+
+// Drained reports whether the ROB is empty (useful for drain phases).
+func (c *Core) Drained() bool { return c.robCount == 0 }

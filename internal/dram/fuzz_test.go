@@ -1,0 +1,37 @@
+package dram
+
+import "testing"
+
+// FuzzDecodeInRange: any address must decode to in-range coordinates under
+// any supported mapping and geometry variant.
+func FuzzDecodeInRange(f *testing.F) {
+	f.Add(uint64(0), uint8(0), uint8(1))
+	f.Add(uint64(1)<<40, uint8(1), uint8(2))
+	f.Add(^uint64(0), uint8(0), uint8(4))
+	f.Fuzz(func(t *testing.T, addr uint64, mapping uint8, channels uint8) {
+		cfg := DDR2_400()
+		if mapping%2 == 1 {
+			cfg.Mapping = MapRowInterleaved
+		}
+		cfg.Channels = 1 + int(channels%4)
+		co := cfg.Decode(addr)
+		if co.Channel < 0 || co.Channel >= cfg.Channels {
+			t.Fatalf("channel %d out of range", co.Channel)
+		}
+		if co.Rank < 0 || co.Rank >= cfg.Ranks {
+			t.Fatalf("rank %d out of range", co.Rank)
+		}
+		if co.Bank < 0 || co.Bank >= cfg.BanksPerRank {
+			t.Fatalf("bank %d out of range", co.Bank)
+		}
+		if co.Col < 0 || co.Col >= cfg.RowBytes/cfg.LineBytes {
+			t.Fatalf("col %d out of range", co.Col)
+		}
+		if co.Row < 0 {
+			t.Fatalf("negative row %d", co.Row)
+		}
+		if g := cfg.GlobalBank(co); g < 0 || g >= cfg.NumBanks() {
+			t.Fatalf("global bank %d out of range", g)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMappingStrings(t *testing.T) {
+	if MapBankInterleaved.String() == "" || MapRowInterleaved.String() == "" {
+		t.Fatal("empty mapping names")
+	}
+	if MapBankInterleaved.String() == MapRowInterleaved.String() {
+		t.Fatal("mapping names collide")
+	}
+	if AddressMap(9).String() == "" {
+		t.Fatal("unknown mapping should still render")
+	}
+}
+
+func TestRowInterleavedSequentialStaysInRow(t *testing.T) {
+	cfg := DDR2_400()
+	cfg.Mapping = MapRowInterleaved
+	colsPerRow := cfg.RowBytes / cfg.LineBytes
+	first := cfg.Decode(0)
+	for i := 1; i < colsPerRow; i++ {
+		co := cfg.Decode(uint64(i * cfg.LineBytes))
+		if co.Row != first.Row || cfg.GlobalBank(co) != cfg.GlobalBank(first) {
+			t.Fatalf("line %d left the row: %+v vs %+v", i, co, first)
+		}
+		if co.Col != i {
+			t.Fatalf("line %d col = %d", i, co.Col)
+		}
+	}
+	// The next line after the row boundary moves to another bank.
+	co := cfg.Decode(uint64(colsPerRow * cfg.LineBytes))
+	if cfg.GlobalBank(co) == cfg.GlobalBank(first) {
+		t.Fatal("row boundary did not switch banks")
+	}
+}
+
+func TestBankInterleavedSequentialSpreadsBanks(t *testing.T) {
+	cfg := DDR2_400() // default mapping
+	seen := map[int]bool{}
+	for i := 0; i < cfg.Ranks*cfg.BanksPerRank; i++ {
+		co := cfg.Decode(uint64(i * cfg.LineBytes))
+		seen[cfg.GlobalBank(co)] = true
+	}
+	if len(seen) != cfg.NumBanks() {
+		t.Fatalf("consecutive lines touched %d banks, want all %d", len(seen), cfg.NumBanks())
+	}
+}
+
+func TestRowInterleavedFieldsInRange(t *testing.T) {
+	cfg := DDR2_400()
+	cfg.Mapping = MapRowInterleaved
+	f := func(addr uint64) bool {
+		co := cfg.Decode(addr)
+		return co.Channel >= 0 && co.Channel < cfg.Channels &&
+			co.Rank >= 0 && co.Rank < cfg.Ranks &&
+			co.Bank >= 0 && co.Bank < cfg.BanksPerRank &&
+			co.Col >= 0 && co.Col < cfg.RowBytes/cfg.LineBytes &&
+			co.Row >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingsDecodeDistinctLines(t *testing.T) {
+	// Within one row-set of addresses, both mappings must be injective.
+	for _, m := range []AddressMap{MapBankInterleaved, MapRowInterleaved} {
+		cfg := DDR2_400()
+		cfg.Mapping = m
+		seen := map[Coord]bool{}
+		for i := 0; i < 4096; i++ {
+			co := cfg.Decode(uint64(i * cfg.LineBytes))
+			if seen[co] {
+				t.Fatalf("%v: duplicate coord at line %d", m, i)
+			}
+			seen[co] = true
+		}
+	}
+}
+
+func TestOpenPageRowHitRateByMapping(t *testing.T) {
+	// Two interleaved sequential streams at distant addresses under
+	// open-page. With bank-interleaved mapping both streams sweep every
+	// bank, so each bank alternates between two rows and thrashes its row
+	// buffer; with row-interleaved mapping each stream parks in one bank's
+	// row at a time and keeps hitting it.
+	run := func(m AddressMap) (hits int64) {
+		cfg := DDR2_400()
+		cfg.Policy = OpenPage
+		cfg.Mapping = m
+		cfg.TRFCns = 0
+		cfg.TREFIns = 0
+		dev, err := NewDevice(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := int64(0)
+		// Offset stream B by one row of lines so that, under row
+		// interleaving, the streams start in different banks.
+		base := [2]uint64{0, 1<<32 + uint64(cfg.RowBytes)}
+		for i := 0; i < 2000; i++ {
+			app := i % 2
+			co := cfg.Decode(base[app] + uint64(i/2*cfg.LineBytes))
+			for !dev.BankReady(co, now) {
+				now++
+			}
+			now = dev.Issue(now, co, app, false)
+		}
+		return dev.Stats().RowHits
+	}
+	rowHits := run(MapRowInterleaved)
+	bankHits := run(MapBankInterleaved)
+	if rowHits <= bankHits*2 {
+		t.Fatalf("row-interleaved hits %d should dwarf bank-interleaved %d on interleaved streams", rowHits, bankHits)
+	}
+}

@@ -1,0 +1,97 @@
+package dram
+
+import "errors"
+
+// PowerConfig holds the per-operation DRAM energy parameters, following
+// the standard current-based model (Micron datasheet methodology) that
+// DRAMSim2 — the paper's memory substrate — implements: energy per
+// activate/precharge pair, energy per read/write burst, refresh energy,
+// and background power split into active-standby and precharge-standby.
+// Values are in nanojoules (energies) and milliwatts (background powers)
+// per rank; defaults approximate a DDR2-800MB-class x8 device scaled to
+// the simulated geometry.
+type PowerConfig struct {
+	ActPreEnergyNJ   float64 // one ACT+PRE pair, per bank operation
+	ReadBurstNJ      float64 // one full line read burst
+	WriteBurstNJ     float64 // one full line write burst
+	RefreshNJ        float64 // one refresh operation (per rank)
+	BackgroundMWRank float64 // standby power per rank, milliwatts
+}
+
+// DefaultPowerConfig returns DDR2-class energy parameters.
+func DefaultPowerConfig() PowerConfig {
+	return PowerConfig{
+		ActPreEnergyNJ:   3.0,
+		ReadBurstNJ:      4.2,
+		WriteBurstNJ:     4.6,
+		RefreshNJ:        25.0,
+		BackgroundMWRank: 75,
+	}
+}
+
+// Validate checks the parameters.
+func (p PowerConfig) Validate() error {
+	if p.ActPreEnergyNJ < 0 || p.ReadBurstNJ < 0 || p.WriteBurstNJ < 0 ||
+		p.RefreshNJ < 0 || p.BackgroundMWRank < 0 {
+		return errors.New("dram: power parameters must be non-negative")
+	}
+	return nil
+}
+
+// Energy is an energy breakdown in nanojoules.
+type Energy struct {
+	ActivateNJ   float64
+	ReadNJ       float64
+	WriteNJ      float64
+	RefreshNJ    float64
+	BackgroundNJ float64
+}
+
+// TotalNJ returns the total energy.
+func (e Energy) TotalNJ() float64 {
+	return e.ActivateNJ + e.ReadNJ + e.WriteNJ + e.RefreshNJ + e.BackgroundNJ
+}
+
+// EstimateEnergy converts device activity counters over an elapsed window
+// into an energy breakdown. Refresh count derives from the refresh
+// interval; background energy from wall time. cfg must be the device's
+// configuration (for geometry and the CPU clock) and elapsed the window in
+// CPU cycles.
+func EstimateEnergy(cfg Config, p PowerConfig, st Stats, elapsed int64) (Energy, error) {
+	if err := p.Validate(); err != nil {
+		return Energy{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Energy{}, err
+	}
+	if elapsed < 0 {
+		return Energy{}, errors.New("dram: negative window")
+	}
+	var e Energy
+	e.ActivateNJ = float64(st.Activates) * p.ActPreEnergyNJ
+	e.ReadNJ = float64(st.ServedReads) * p.ReadBurstNJ
+	e.WriteNJ = float64(st.ServedWrites) * p.WriteBurstNJ
+
+	seconds := float64(elapsed) / (cfg.CPUGHz * 1e9)
+	ranks := float64(cfg.Channels * cfg.Ranks)
+	if cfg.TREFIns > 0 {
+		refreshes := seconds / (cfg.TREFIns * 1e-9) * ranks
+		e.RefreshNJ = refreshes * p.RefreshNJ
+	}
+	// Background: milliwatts * seconds = millijoules; to nJ: *1e6.
+	e.BackgroundNJ = p.BackgroundMWRank * ranks * seconds * 1e6
+	return e, nil
+}
+
+// EnergyPerBitPJ returns the dynamic energy cost per transferred data bit
+// in picojoules (activate + burst energy over the bits moved), a standard
+// DRAM efficiency figure. Returns 0 when nothing was transferred.
+func EnergyPerBitPJ(cfg Config, e Energy, st Stats) float64 {
+	accesses := st.ServedReads + st.ServedWrites
+	if accesses == 0 {
+		return 0
+	}
+	bits := float64(accesses) * float64(cfg.LineBytes) * 8
+	dynamicNJ := e.ActivateNJ + e.ReadNJ + e.WriteNJ
+	return dynamicNJ / bits * 1e3 // nJ/bit -> pJ/bit
+}

@@ -1,0 +1,108 @@
+package dram
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPowerConfigValidate(t *testing.T) {
+	if err := DefaultPowerConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultPowerConfig()
+	bad.ReadBurstNJ = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+}
+
+func TestEstimateEnergyBreakdown(t *testing.T) {
+	cfg := DDR2_400()
+	p := DefaultPowerConfig()
+	st := Stats{ServedReads: 100, ServedWrites: 50, Activates: 150}
+	elapsed := int64(5_000_000) // 1 ms at 5 GHz
+	e, err := EstimateEnergy(cfg, p, st, elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.ActivateNJ, 150*p.ActPreEnergyNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("activate = %v, want %v", got, want)
+	}
+	if got, want := e.ReadNJ, 100*p.ReadBurstNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("read = %v, want %v", got, want)
+	}
+	if got, want := e.WriteNJ, 50*p.WriteBurstNJ; math.Abs(got-want) > 1e-9 {
+		t.Errorf("write = %v, want %v", got, want)
+	}
+	// 1 ms / 7.8 us = ~128.2 refreshes per rank, 4 ranks.
+	wantRefresh := 0.001 / (7800e-9) * 4 * p.RefreshNJ
+	if math.Abs(e.RefreshNJ-wantRefresh)/wantRefresh > 1e-9 {
+		t.Errorf("refresh = %v, want %v", e.RefreshNJ, wantRefresh)
+	}
+	// 75 mW * 4 ranks * 1 ms = 0.3 mJ = 3e5 nJ.
+	if math.Abs(e.BackgroundNJ-3e5)/3e5 > 1e-9 {
+		t.Errorf("background = %v, want 3e5", e.BackgroundNJ)
+	}
+	if e.TotalNJ() <= e.BackgroundNJ {
+		t.Error("total should exceed background alone")
+	}
+}
+
+func TestEstimateEnergyValidation(t *testing.T) {
+	cfg := DDR2_400()
+	bad := DefaultPowerConfig()
+	bad.RefreshNJ = -5
+	if _, err := EstimateEnergy(cfg, bad, Stats{}, 1000); err == nil {
+		t.Error("bad power config accepted")
+	}
+	if _, err := EstimateEnergy(cfg, DefaultPowerConfig(), Stats{}, -1); err == nil {
+		t.Error("negative window accepted")
+	}
+	badCfg := cfg
+	badCfg.CPUGHz = 0
+	if _, err := EstimateEnergy(badCfg, DefaultPowerConfig(), Stats{}, 1000); err == nil {
+		t.Error("bad dram config accepted")
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	cfg := DDR2_400()
+	st := Stats{ServedReads: 10, Activates: 10}
+	e := Energy{ActivateNJ: 30, ReadNJ: 42}
+	got := EnergyPerBitPJ(cfg, e, st)
+	// (30+42) nJ over 10*64*8 bits = 72/5120 nJ/bit = 14.0625 pJ/bit.
+	if math.Abs(got-14.0625) > 1e-9 {
+		t.Fatalf("pJ/bit = %v, want 14.0625", got)
+	}
+	if EnergyPerBitPJ(cfg, e, Stats{}) != 0 {
+		t.Fatal("zero transfers should yield 0")
+	}
+}
+
+func TestEnergyFromLiveDevice(t *testing.T) {
+	cfg := DDR2_400()
+	dev, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := int64(0)
+	for i := 0; i < 500; i++ {
+		co := cfg.Decode(uint64(i) * uint64(cfg.LineBytes))
+		for !dev.BankReady(co, now) {
+			now++
+		}
+		now = dev.Issue(now, co, 0, i%4 == 0)
+	}
+	e, err := EstimateEnergy(cfg, DefaultPowerConfig(), dev.Stats(), now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ActivateNJ <= 0 || e.ReadNJ <= 0 || e.WriteNJ <= 0 || e.TotalNJ() <= 0 {
+		t.Fatalf("degenerate energy: %+v", e)
+	}
+	ppb := EnergyPerBitPJ(cfg, e, dev.Stats())
+	// Sanity band for DDR2-class dynamic energy per bit.
+	if ppb < 1 || ppb > 100 {
+		t.Fatalf("pJ/bit = %v out of plausible band", ppb)
+	}
+}

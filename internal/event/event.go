@@ -1,0 +1,70 @@
+// Package event provides a small deterministic event queue keyed by cycle
+// number. Simulator components use it to schedule work (cache hit fills,
+// DRAM completions) at a future cycle without each component reimplementing
+// a heap. Events scheduled for the same cycle run in FIFO order, which keeps
+// simulations reproducible.
+package event
+
+import "container/heap"
+
+// item is a scheduled callback. seq breaks ties between events scheduled for
+// the same cycle so execution order is insertion order.
+type item struct {
+	cycle int64
+	seq   uint64
+	fn    func()
+}
+
+type itemHeap []item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Queue is a deterministic future-event list. The zero value is ready to use.
+type Queue struct {
+	h   itemHeap
+	seq uint64
+}
+
+// At schedules fn to run when RunUntil reaches cycle. Scheduling in the past
+// is allowed; the event fires on the next RunUntil call.
+func (q *Queue) At(cycle int64, fn func()) {
+	q.seq++
+	heap.Push(&q.h, item{cycle: cycle, seq: q.seq, fn: fn})
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// NextCycle returns the cycle of the earliest pending event and whether one
+// exists.
+func (q *Queue) NextCycle() (int64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].cycle, true
+}
+
+// RunUntil executes, in order, every event scheduled at or before cycle.
+// Events may schedule further events; those are honored if they also fall at
+// or before cycle.
+func (q *Queue) RunUntil(cycle int64) {
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		it := heap.Pop(&q.h).(item)
+		it.fn()
+	}
+}

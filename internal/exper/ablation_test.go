@@ -1,0 +1,127 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"bwpart/internal/metrics"
+	"bwpart/internal/workload"
+)
+
+func TestPagePolicyStudy(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-6") // lbm + libquantum: heavy streamers
+	res, err := r.PagePolicyStudy([]workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.ClosePageIPC <= 0 || row.OpenPageIPC <= 0 {
+		t.Fatalf("degenerate run: %+v", row)
+	}
+	// Both policies must keep utilization in a sane band on a
+	// bandwidth-hungry mix.
+	if row.CloseBusUtil < 0.5 || row.CloseBusUtil > 1 || row.OpenBusUtil < 0.5 || row.OpenBusUtil > 1 {
+		t.Fatalf("utilization out of band: %+v", row)
+	}
+	if !strings.Contains(res.Render(), "hetero-6") {
+		t.Fatal("render missing row")
+	}
+}
+
+func TestEnforcementStudy(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-2")
+	res, err := r.EnforcementStudy([]workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Strict <= 0 || row.Shares <= 0 {
+			t.Fatalf("degenerate: %+v", row)
+		}
+		// The two enforcement mechanisms realize the same model allocation;
+		// they must land within 25% of each other.
+		ratio := row.Strict / row.Shares
+		if ratio < 0.75 || ratio > 1.33 {
+			t.Errorf("%s/%v: enforcement mechanisms diverge: strict %.3f vs shares %.3f",
+				row.Mix, row.Objective, row.Strict, row.Shares)
+		}
+		if row.Objective != metrics.ObjectiveWsp && row.Objective != metrics.ObjectiveIPCSum {
+			t.Errorf("unexpected objective %v", row.Objective)
+		}
+	}
+	if !strings.Contains(res.Render(), "strict") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestEnergyStudy(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-5")
+	res, err := r.EnergyStudy(mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var baseEnergy, bestEff, baseEff float64
+	for _, row := range res.Rows {
+		if row.TotalMJ <= 0 || row.DynamicPJPerBit <= 0 || row.IPCSumPerMJ <= 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if row.Scheme == NoPartitioning {
+			baseEnergy = row.TotalMJ
+			baseEff = row.IPCSumPerMJ
+		}
+		if row.IPCSumPerMJ > bestEff {
+			bestEff = row.IPCSumPerMJ
+		}
+	}
+	// B is roughly scheme-invariant, so total energy varies little...
+	for _, row := range res.Rows {
+		if row.TotalMJ < baseEnergy*0.8 || row.TotalMJ > baseEnergy*1.2 {
+			t.Errorf("%s: energy %v far from baseline %v", row.Scheme, row.TotalMJ, baseEnergy)
+		}
+	}
+	// ...so energy efficiency follows throughput: partitioning must beat
+	// the baseline on work per joule.
+	if bestEff < baseEff*1.2 {
+		t.Errorf("no scheme improved energy efficiency: best %v vs base %v", bestEff, baseEff)
+	}
+	if !strings.Contains(res.Render(), "pJ/bit") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestMechanismStudy(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-5")
+	res, err := r.MechanismStudy([]workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.STF <= 0 || row.Budget <= 0 {
+		t.Fatalf("degenerate: %+v", row)
+	}
+	// The two mechanisms realize the same shares; outcomes must agree
+	// within enforcement tolerance.
+	ratio := row.Budget / row.STF
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Fatalf("mechanisms diverge: STF %.3f vs budget %.3f", row.STF, row.Budget)
+	}
+	if !strings.Contains(res.Render(), "budget/STF") {
+		t.Fatal("render incomplete")
+	}
+}

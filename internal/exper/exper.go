@@ -1,0 +1,205 @@
+// Package exper defines runnable reproductions of every table and figure
+// in the paper's evaluation (Table III, Table IV, Figures 1-4) plus the
+// model-validation and online-profiling extensions. Each experiment returns
+// a structured result with a Render method that prints the same rows or
+// series the paper reports.
+package exper
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/core"
+	"bwpart/internal/metrics"
+	"bwpart/internal/sim"
+	"bwpart/internal/workload"
+)
+
+// NoPartitioning is the scheme identifier for the FCFS baseline.
+const NoPartitioning = "no-partitioning"
+
+// Figure2Schemes lists the six managed schemes of Figure 2 in legend order.
+func Figure2Schemes() []string {
+	return []string{"equal", "proportional", "square-root", "two-thirds-power", "priority-apc", "priority-api"}
+}
+
+// Figure1Schemes lists the five schemes of the motivation figure.
+func Figure1Schemes() []string {
+	return []string{"equal", "proportional", "square-root", "priority-api", "priority-apc"}
+}
+
+// Config sets the simulation windows shared by all experiments.
+type Config struct {
+	Sim           sim.Config
+	ProfileCycles int64 // standalone profiling window per benchmark
+	SettleCycles  int64 // shared-run settling before measurement
+	MeasureCycles int64 // shared-run measurement window
+	Seed          int64
+	// Tracer, when set, observes every off-chip access issued during
+	// shared runs (not during standalone profiling): for trace recording.
+	Tracer func(cycle int64, app int, addr uint64, write bool)
+}
+
+// Default returns the full-fidelity configuration used for the recorded
+// results in EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Sim:           sim.DefaultConfig(),
+		ProfileCycles: 500_000,
+		SettleCycles:  100_000,
+		MeasureCycles: 700_000,
+		Seed:          1,
+	}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks. The
+// windows stay long enough that the paper's qualitative orderings are
+// stable; Default is what EXPERIMENTS.md records.
+func Quick() Config {
+	cfg := Default()
+	cfg.Sim.WarmupInstructions = 100_000
+	cfg.ProfileCycles = 300_000
+	cfg.SettleCycles = 60_000
+	cfg.MeasureCycles = 400_000
+	return cfg
+}
+
+// Validate checks windows.
+func (c Config) Validate() error {
+	if c.ProfileCycles <= 0 || c.SettleCycles < 0 || c.MeasureCycles <= 0 {
+		return errors.New("exper: simulation windows must be positive")
+	}
+	return c.Sim.DRAM.Validate()
+}
+
+// Runner executes experiments, caching standalone profiles per benchmark
+// so a profile run happens once per (benchmark, memory configuration).
+type Runner struct {
+	cfg   Config
+	alone map[string]sim.AloneProfile
+}
+
+// NewRunner builds a Runner over cfg.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Sim.Seed = cfg.Seed
+	return &Runner{cfg: cfg, alone: make(map[string]sim.AloneProfile)}, nil
+}
+
+// Config returns the runner's configuration.
+func (r *Runner) Config() Config { return r.cfg }
+
+// aloneEntry is the cached standalone characterization type.
+type aloneEntry = sim.AloneProfile
+
+// profileAloneFor runs the standalone characterization for one benchmark
+// under the experiment configuration.
+func profileAloneFor(cfg Config, p workload.Profile) (aloneEntry, error) {
+	return sim.ProfileAlone(cfg.Sim, p, cfg.ProfileCycles)
+}
+
+// Alone returns the cached standalone profile of a benchmark. Not safe for
+// concurrent first-miss use; parallel sweeps pre-warm the cache via
+// warmAloneCache.
+func (r *Runner) Alone(name string) (sim.AloneProfile, error) {
+	if ap, ok := r.alone[name]; ok {
+		return ap, nil
+	}
+	p, err := workload.ByName(name)
+	if err != nil {
+		return sim.AloneProfile{}, err
+	}
+	ap, err := profileAloneFor(r.cfg, p)
+	if err != nil {
+		return sim.AloneProfile{}, err
+	}
+	r.alone[name] = ap
+	return ap, nil
+}
+
+// aloneVectors resolves the profile vectors for a mix.
+func (r *Runner) aloneVectors(mix workload.Mix) (apcAlone, api, ipcAlone []float64, err error) {
+	n := len(mix.Benchmarks)
+	apcAlone = make([]float64, n)
+	api = make([]float64, n)
+	ipcAlone = make([]float64, n)
+	for i, name := range mix.Benchmarks {
+		ap, err := r.Alone(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		apcAlone[i], api[i], ipcAlone[i] = ap.APCAlone, ap.API, ap.IPCAlone
+	}
+	return apcAlone, api, ipcAlone, nil
+}
+
+// MixRun is one (mix, scheme) measurement.
+type MixRun struct {
+	Mix      workload.Mix
+	Scheme   string
+	IPCAlone []float64
+	APCAlone []float64
+	API      []float64
+	Result   sim.Result
+	// Values holds the four objectives evaluated on the measured IPCs.
+	Values map[metrics.Objective]float64
+}
+
+// RunMix simulates one mix under one scheme (NoPartitioning or a core
+// scheme name) and evaluates all four objectives.
+func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
+	profs, err := mix.Profiles()
+	if err != nil {
+		return nil, err
+	}
+	apcAlone, api, ipcAlone, err := r.aloneVectors(mix)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := sim.New(r.cfg.Sim, profs)
+	if err != nil {
+		return nil, err
+	}
+	sys.Warmup()
+	if r.cfg.Tracer != nil {
+		sys.Controller().SetTracer(r.cfg.Tracer)
+	}
+	if scheme == NoPartitioning {
+		err = sys.ApplyNoPartitioning()
+	} else {
+		var sch core.Scheme
+		sch, err = core.ByName(scheme)
+		if err != nil {
+			return nil, err
+		}
+		err = sys.ApplyScheme(sch, apcAlone, api)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sys.Run(r.cfg.SettleCycles)
+	sys.ResetStats()
+	sys.Run(r.cfg.MeasureCycles)
+	res := sys.Results()
+
+	run := &MixRun{
+		Mix:      mix,
+		Scheme:   scheme,
+		IPCAlone: ipcAlone,
+		APCAlone: apcAlone,
+		API:      api,
+		Result:   res,
+		Values:   make(map[metrics.Objective]float64, 4),
+	}
+	shared := res.IPCs()
+	for _, obj := range metrics.Objectives() {
+		v, err := obj.Eval(shared, ipcAlone)
+		if err != nil {
+			return nil, fmt.Errorf("exper: %s/%s: %w", mix.Name, scheme, err)
+		}
+		run.Values[obj] = v
+	}
+	return run, nil
+}

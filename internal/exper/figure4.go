@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+
+	"bwpart/internal/metrics"
+	"bwpart/internal/workload"
+)
+
+// ScalePoint is one bandwidth/core-count configuration of the scalability
+// study: bandwidth and the number of application copies scale together
+// (paper Sec. VI-C: 4, 8, 16 cores for 3.2, 6.4, 12.8 GB/s).
+type ScalePoint struct {
+	Factor int // 1, 2, 4
+	GBs    float64
+}
+
+// Figure4Result reproduces the scalability figure: for each objective and
+// each scale point, the hetero-average of (optimal scheme / Equal).
+type Figure4Result struct {
+	Points []ScalePoint
+	// NormalizedToEqual[objective][scaleIndex]
+	NormalizedToEqual map[metrics.Objective][]float64
+}
+
+// Figure4 runs the scalability study over the paper's three scale points.
+// Mixes: the seven heterogeneous workloads, each replicated Factor times.
+func (r *Runner) Figure4() (*Figure4Result, error) {
+	return r.figure4(workload.HeteroMixes(), []int{1, 2, 4})
+}
+
+// Figure4Scaled allows a custom mix list and scale factors (used by quick
+// tests and benchmarks).
+func (r *Runner) Figure4Scaled(mixes []workload.Mix, factors []int) (*Figure4Result, error) {
+	return r.figure4(mixes, factors)
+}
+
+func (r *Runner) figure4(mixes []workload.Mix, factors []int) (*Figure4Result, error) {
+	out := &Figure4Result{NormalizedToEqual: make(map[metrics.Objective][]float64)}
+	for _, obj := range metrics.Objectives() {
+		out.NormalizedToEqual[obj] = make([]float64, len(factors))
+	}
+	for si, factor := range factors {
+		scaleCfg := r.cfg
+		scaleCfg.Sim.DRAM = scaleCfg.Sim.DRAM.ScaleBandwidth(float64(factor))
+		out.Points = append(out.Points, ScalePoint{Factor: factor, GBs: scaleCfg.Sim.DRAM.PeakBandwidthGBs()})
+		// A dedicated runner per scale point: APC_alone depends on the
+		// memory system, so profiles cannot be shared across bandwidths.
+		sub, err := NewRunner(scaleCfg)
+		if err != nil {
+			return nil, err
+		}
+		counts := make(map[metrics.Objective]int)
+		for _, mix := range mixes {
+			scaled := mix.Scale(factor)
+			eq, err := sub.RunMix(scaled, "equal")
+			if err != nil {
+				return nil, err
+			}
+			for _, obj := range metrics.Objectives() {
+				schemeName, err := optimalSchemeName(obj)
+				if err != nil {
+					return nil, err
+				}
+				run, err := sub.RunMix(scaled, schemeName)
+				if err != nil {
+					return nil, err
+				}
+				out.NormalizedToEqual[obj][si] += run.Values[obj] / eq.Values[obj]
+				counts[obj]++
+			}
+		}
+		for _, obj := range metrics.Objectives() {
+			if counts[obj] > 0 {
+				out.NormalizedToEqual[obj][si] /= float64(counts[obj])
+			}
+		}
+	}
+	return out, nil
+}
+
+// AloneAPCScaling measures how each benchmark's standalone APC grows with
+// bandwidth — the paper's explanation for why heterogeneity (and thus the
+// benefit of optimal partitioning) grows with scale: bandwidth-bound apps
+// (lbm) scale their APC_alone much faster than latency-bound ones
+// (leslie3d).
+func (r *Runner) AloneAPCScaling(names []string, factors []int) (map[string][]float64, error) {
+	out := make(map[string][]float64, len(names))
+	for _, factor := range factors {
+		scaleCfg := r.cfg
+		scaleCfg.Sim.DRAM = scaleCfg.Sim.DRAM.ScaleBandwidth(float64(factor))
+		sub, err := NewRunner(scaleCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			ap, err := sub.Alone(name)
+			if err != nil {
+				return nil, err
+			}
+			out[name] = append(out[name], ap.APKC)
+		}
+	}
+	return out, nil
+}
+
+// Render prints the figure's series.
+func (f *Figure4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: optimal scheme normalized to Equal partitioning vs bandwidth scale\n")
+	header := []string{"objective (optimal scheme)"}
+	for _, p := range f.Points {
+		header = append(header, fmt.Sprintf("%.1f GB/s", p.GBs))
+	}
+	t := newTable(header...)
+	rows := []struct {
+		label string
+		obj   metrics.Objective
+	}{
+		{"Hsp (square-root)", metrics.ObjectiveHsp},
+		{"Wsp (priority-apc)", metrics.ObjectiveWsp},
+		{"IPCsum (priority-api)", metrics.ObjectiveIPCSum},
+		{"minFairness (proportional)", metrics.ObjectiveMinFairness},
+	}
+	for _, row := range rows {
+		cells := []string{row.label}
+		for si := range f.Points {
+			cells = append(cells, f3(f.NormalizedToEqual[row.obj][si]))
+		}
+		t.addRow(cells...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// ImprovesWithScale reports whether the normalized gain of the optimal
+// scheme grows from the first to the last scale point (the paper's
+// scalability claim) for the given objective.
+func (f *Figure4Result) ImprovesWithScale(obj metrics.Objective) bool {
+	series := f.NormalizedToEqual[obj]
+	if len(series) < 2 {
+		return false
+	}
+	return series[len(series)-1] > series[0]
+}

@@ -1,0 +1,69 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"bwpart/internal/metrics"
+	"bwpart/internal/workload"
+)
+
+func TestHeuristicStudySingleMix(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-5")
+	h, err := r.RunHeuristics([]workload.Mix{mix})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every config present with all four objectives, positive values.
+	for _, cfgName := range h.Configs {
+		vals := h.Normalized[cfgName]
+		if len(vals) != 4 {
+			t.Fatalf("%s: %d objectives", cfgName, len(vals))
+		}
+		for obj, v := range vals {
+			if v <= 0 {
+				t.Errorf("%s/%v = %v", cfgName, obj, v)
+			}
+		}
+	}
+	// Fairness-oriented heuristics must not collapse fairness the way the
+	// strict priority schemes do.
+	for _, hName := range HeuristicNames() {
+		if h.Normalized[hName][metrics.ObjectiveMinFairness] <= h.Normalized["priority-api"][metrics.ObjectiveMinFairness] {
+			t.Errorf("%s fairness (%.3f) at or below strict priority (%.3f)",
+				hName, h.Normalized[hName][metrics.ObjectiveMinFairness],
+				h.Normalized["priority-api"][metrics.ObjectiveMinFairness])
+		}
+	}
+	// Render includes every row.
+	text := h.Render()
+	for _, cfgName := range h.Configs {
+		if !strings.Contains(text, cfgName) {
+			t.Errorf("render missing %s", cfgName)
+		}
+	}
+}
+
+func TestCapturedFraction(t *testing.T) {
+	h := &HeuristicStudy{
+		Normalized: map[string]map[metrics.Objective]float64{
+			"stfm":         {metrics.ObjectiveWsp: 1.15},
+			"priority-apc": {metrics.ObjectiveWsp: 1.30},
+		},
+	}
+	frac, err := h.CapturedFraction("stfm", metrics.ObjectiveWsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("captured fraction = %v, want 0.5", frac)
+	}
+	if _, err := h.CapturedFraction("bogus", metrics.ObjectiveWsp); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	h.Normalized["priority-apc"][metrics.ObjectiveWsp] = 1.0
+	if _, err := h.CapturedFraction("stfm", metrics.ObjectiveWsp); err == nil {
+		t.Error("zero optimal gain accepted")
+	}
+}

@@ -1,0 +1,157 @@
+package exper
+
+import (
+	"runtime"
+	"sync"
+
+	"bwpart/internal/metrics"
+	"bwpart/internal/workload"
+)
+
+// Simulations of distinct (mix, scheme) pairs are independent, so the big
+// sweeps fan out across a bounded worker pool. Determinism is preserved:
+// each simulation is seeded independently of scheduling order, and results
+// are keyed, not appended.
+
+// parallelism bounds concurrent simulations.
+func parallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runJobs executes fn(i) for i in [0, n) on a bounded worker pool and
+// returns the first error (all jobs still run to completion).
+func runJobs(n int, fn func(i int) error) error {
+	sem := make(chan struct{}, parallelism())
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Figure2Parallel computes the same result as Figure2 with all 98
+// simulations fanned out across CPUs. The alone-profile cache is warmed
+// first (serially per benchmark, concurrently across benchmarks) so worker
+// goroutines only read it.
+func (r *Runner) Figure2Parallel() (*Figure2Result, error) {
+	mixes := workload.AllMixes()
+	if err := r.warmAloneCache(mixes); err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		mix    workload.Mix
+		scheme string // NoPartitioning or a scheme name
+	}
+	var jobs []job
+	for _, mix := range mixes {
+		jobs = append(jobs, job{mix, NoPartitioning})
+		for _, scheme := range Figure2Schemes() {
+			jobs = append(jobs, job{mix, scheme})
+		}
+	}
+	results := make([]*MixRun, len(jobs))
+	err := runJobs(len(jobs), func(i int) error {
+		run, err := r.RunMix(jobs[i].mix, jobs[i].scheme)
+		if err != nil {
+			return err
+		}
+		results[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Figure2Result{
+		Normalized: make(map[string]map[string]map[metrics.Objective]float64),
+		HeteroAvg:  newAvgMap(),
+		HomoAvg:    newAvgMap(),
+	}
+	heteroN, homoN := 0, 0
+	idx := 0
+	for _, mix := range mixes {
+		base := results[idx]
+		idx++
+		perScheme := make(map[string]map[metrics.Objective]float64)
+		for _, scheme := range Figure2Schemes() {
+			run := results[idx]
+			idx++
+			norm := make(map[metrics.Objective]float64, 4)
+			for _, obj := range metrics.Objectives() {
+				norm[obj] = run.Values[obj] / base.Values[obj]
+			}
+			perScheme[scheme] = norm
+		}
+		out.Normalized[mix.Name] = perScheme
+		if mix.Heterogeneous() {
+			heteroN++
+			accumulate(out.HeteroAvg, perScheme)
+		} else {
+			homoN++
+			accumulate(out.HomoAvg, perScheme)
+		}
+	}
+	scale(out.HeteroAvg, heteroN)
+	scale(out.HomoAvg, homoN)
+	return out, nil
+}
+
+// warmAloneCache profiles every benchmark of the given mixes concurrently
+// and stores the results in the runner's cache. After it returns, RunMix
+// only reads the cache, making concurrent RunMix calls safe.
+func (r *Runner) warmAloneCache(mixes []workload.Mix) error {
+	seen := map[string]bool{}
+	var names []string
+	for _, mix := range mixes {
+		for _, b := range mix.Benchmarks {
+			if !seen[b] {
+				seen[b] = true
+				names = append(names, b)
+			}
+		}
+	}
+	profiles := make([]struct {
+		name string
+		ap   aloneEntry
+	}, len(names))
+	err := runJobs(len(names), func(i int) error {
+		p, err := workload.ByName(names[i])
+		if err != nil {
+			return err
+		}
+		ap, err := profileAloneFor(r.cfg, p)
+		if err != nil {
+			return err
+		}
+		profiles[i].name = names[i]
+		profiles[i].ap = ap
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, pr := range profiles {
+		r.alone[pr.name] = pr.ap
+	}
+	return nil
+}

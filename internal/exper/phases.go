@@ -1,0 +1,201 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bwpart/internal/core"
+	"bwpart/internal/cpu"
+	"bwpart/internal/profile"
+	"bwpart/internal/sim"
+	"bwpart/internal/workload"
+)
+
+// PhaseEpoch records one repartitioning epoch of the phase study.
+type PhaseEpoch struct {
+	// EstimatedAPC is the online APC_alone estimate for the phased app at
+	// the end of the epoch (online system only).
+	EstimatedAPC float64
+	// StaticIPC / OnlineIPC: the phased app's IPC during this epoch under
+	// the stale-shares system and the adapting system.
+	StaticIPC float64
+	OnlineIPC float64
+	// StaticTotalIPC / OnlineTotalIPC: whole-system IPC sums.
+	StaticTotalIPC float64
+	OnlineTotalIPC float64
+}
+
+// PhaseStudyResult compares static (profile-once) partitioning against the
+// paper's periodic re-profiling on a workload whose first application
+// alternates between a compute phase (povray-like) and a memory-streaming
+// phase (lbm-like). Sec. IV-C: "when an application's behavior changes,
+// its APC_alone will be updated ... our partitioning schemes will change
+// an application's bandwidth share correspondingly".
+type PhaseStudyResult struct {
+	Epochs []PhaseEpoch
+	// EstimateSwing is max/min of the online APC_alone estimates across
+	// epochs — evidence the profiler tracks the phases.
+	EstimateSwing float64
+}
+
+// PhaseStudy runs the comparison. phaseInstr is the phase length in
+// instructions for the phased app; the study runs the given number of
+// epochs of epochCycles each after a one-epoch FCFS profiling prologue.
+func (r *Runner) PhaseStudy(phaseInstr, epochCycles int64, epochs int) (*PhaseStudyResult, error) {
+	if phaseInstr <= 0 || epochCycles <= 0 || epochs < 2 {
+		return nil, errors.New("exper: phase study needs positive windows and >= 2 epochs")
+	}
+	mkSystem := func() (*sim.System, error) {
+		phased, err := workload.TwoPhase("povray", "lbm", phaseInstr, 0, r.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		pov, err := workload.ByName("povray")
+		if err != nil {
+			return nil, err
+		}
+		specs := []sim.AppSpec{{
+			Name:   "phased",
+			Core:   coreFor(r.cfg.Sim, pov),
+			Stream: phased,
+			Warm:   phased.Warmup,
+		}}
+		for i, name := range []string{"milc", "gromacs", "gobmk"} {
+			p, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workload.NewGenerator(p, i+1, r.cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, sim.AppSpec{Name: name, Core: coreFor(r.cfg.Sim, p), Stream: gen, Warm: gen.Warmup})
+		}
+		sys, err := sim.NewFromSpecs(r.cfg.Sim, specs)
+		if err != nil {
+			return nil, err
+		}
+		sys.Warmup()
+		return sys, nil
+	}
+
+	static, err := mkSystem()
+	if err != nil {
+		return nil, err
+	}
+	online, err := mkSystem()
+	if err != nil {
+		return nil, err
+	}
+
+	// Prologue: both systems profile under FCFS for one epoch.
+	prologue := func(sys *sim.System) ([]float64, []float64, error) {
+		if err := sys.ApplyNoPartitioning(); err != nil {
+			return nil, nil, err
+		}
+		sys.ResetStats()
+		sys.Run(epochCycles)
+		est, err := profile.EstimateAll(sys.Controller().Stats(), epochCycles)
+		if err != nil {
+			return nil, nil, err
+		}
+		apis := sys.Results().APIs()
+		sanitize(est, apis)
+		return est, apis, nil
+	}
+	estS, apiS, err := prologue(static)
+	if err != nil {
+		return nil, err
+	}
+	if err := static.ApplyScheme(core.Proportional(), estS, apiS); err != nil {
+		return nil, err
+	}
+	estO, apiO, err := prologue(online)
+	if err != nil {
+		return nil, err
+	}
+	if err := online.ApplyScheme(core.Proportional(), estO, apiO); err != nil {
+		return nil, err
+	}
+
+	out := &PhaseStudyResult{}
+	minEst, maxEst := 0.0, 0.0
+	for e := 0; e < epochs; e++ {
+		static.ResetStats()
+		static.Run(epochCycles)
+		online.ResetStats()
+		online.Run(epochCycles)
+
+		sRes := static.Results()
+		oRes := online.Results()
+		est, err := profile.EstimateAll(online.Controller().Stats(), epochCycles)
+		if err != nil {
+			return nil, err
+		}
+		apis := oRes.APIs()
+		sanitize(est, apis)
+		// Online system repartitions from fresh estimates; static keeps
+		// its stale shares.
+		if err := online.ApplyScheme(core.Proportional(), est, apis); err != nil {
+			return nil, err
+		}
+
+		ep := PhaseEpoch{
+			EstimatedAPC: est[0],
+			StaticIPC:    sRes.Apps[0].IPC,
+			OnlineIPC:    oRes.Apps[0].IPC,
+		}
+		for _, a := range sRes.Apps {
+			ep.StaticTotalIPC += a.IPC
+		}
+		for _, a := range oRes.Apps {
+			ep.OnlineTotalIPC += a.IPC
+		}
+		out.Epochs = append(out.Epochs, ep)
+		if e == 0 || est[0] < minEst {
+			minEst = est[0]
+		}
+		if e == 0 || est[0] > maxEst {
+			maxEst = est[0]
+		}
+	}
+	if minEst > 0 {
+		out.EstimateSwing = maxEst / minEst
+	}
+	return out, nil
+}
+
+// coreFor derives the per-app core config from a profile.
+func coreFor(simCfg sim.Config, p workload.Profile) cpu.Config {
+	c := simCfg.Core
+	c.BaseIPC = p.BaseIPC
+	c.MaxOutstandingLoads = p.MLP
+	return c
+}
+
+// sanitize clamps estimator outputs to usable positive values.
+func sanitize(est, apis []float64) {
+	for i := range est {
+		if est[i] <= 0 {
+			est[i] = 1e-6
+		}
+		if apis[i] <= 0 {
+			apis[i] = 1e-3
+		}
+	}
+}
+
+// Render prints the per-epoch comparison.
+func (p *PhaseStudyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Phase adaptation: static (profile-once) vs online re-profiling (Proportional shares)\n")
+	t := newTable("epoch", "est APC_alone (phased)", "phased IPC static", "phased IPC online", "total IPC static", "total IPC online")
+	for i, e := range p.Epochs {
+		t.addRow(fmt.Sprintf("%d", i), fmt.Sprintf("%.5f", e.EstimatedAPC),
+			f3(e.StaticIPC), f3(e.OnlineIPC), f3(e.StaticTotalIPC), f3(e.OnlineTotalIPC))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "online estimate swing across epochs: %.2fx\n", p.EstimateSwing)
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package exper
+
+import (
+	"strings"
+	"testing"
+
+	"bwpart/internal/workload"
+)
+
+func TestPhaseStudyTracksPhases(t *testing.T) {
+	r := quickRunner(t)
+	res, err := r.PhaseStudy(100_000, 200_000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 6 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	// The online profiler must see the phase change: its APC_alone
+	// estimate for the phased app swings substantially across epochs
+	// (lbm-like streaming vs povray-like compute).
+	if res.EstimateSwing < 1.5 {
+		t.Errorf("estimate swing %.2fx — phases not tracked", res.EstimateSwing)
+	}
+	// The phased app's measured IPC must also swing with the phases, and
+	// both systems stay live.
+	minIPC, maxIPC := res.Epochs[0].OnlineIPC, res.Epochs[0].OnlineIPC
+	for _, e := range res.Epochs {
+		if e.StaticIPC <= 0 || e.OnlineIPC <= 0 || e.StaticTotalIPC <= 0 || e.OnlineTotalIPC <= 0 {
+			t.Fatalf("degenerate epoch: %+v", e)
+		}
+		if e.OnlineIPC < minIPC {
+			minIPC = e.OnlineIPC
+		}
+		if e.OnlineIPC > maxIPC {
+			maxIPC = e.OnlineIPC
+		}
+	}
+	if maxIPC < 2*minIPC {
+		t.Errorf("phased app IPC swing %.3f..%.3f too small for a phase change", minIPC, maxIPC)
+	}
+	if !strings.Contains(res.Render(), "estimate swing") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestPhaseStudyValidation(t *testing.T) {
+	r := quickRunner(t)
+	if _, err := r.PhaseStudy(0, 1000, 3); err == nil {
+		t.Error("zero phase length accepted")
+	}
+	if _, err := r.PhaseStudy(1000, 0, 3); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	if _, err := r.PhaseStudy(1000, 1000, 1); err == nil {
+		t.Error("single epoch accepted")
+	}
+}
+
+func TestIntervalStudy(t *testing.T) {
+	r := quickRunner(t)
+	mix, err := workload.MixByName("hetero-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.IntervalStudy(mix, "square-root", []int64{60_000, 150_000, 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Hsp <= 0 {
+			t.Errorf("epoch %d: Hsp %v", p.EpochCycles, p.Hsp)
+		}
+		if p.EstimatorError < 0 || p.EstimatorError > 2 {
+			t.Errorf("epoch %d: estimator error %v out of band", p.EpochCycles, p.EstimatorError)
+		}
+	}
+	if !strings.Contains(res.Render(), "epoch") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestIntervalStudyValidation(t *testing.T) {
+	r := quickRunner(t)
+	mix, _ := workload.MixByName("hetero-5")
+	if _, err := r.IntervalStudy(mix, "square-root", nil); err == nil {
+		t.Error("empty points accepted")
+	}
+	if _, err := r.IntervalStudy(mix, "square-root", []int64{0}); err == nil {
+		t.Error("zero epoch accepted")
+	}
+}

@@ -1,0 +1,63 @@
+package exper
+
+import (
+	"fmt"
+	"strings"
+)
+
+// table is a tiny text-table builder for experiment renderings.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *table { return &table{header: header} }
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.addRow(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+// String renders the table with aligned columns.
+func (t *table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	var total int
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f3(x float64) string { return fmt.Sprintf("%.3f", x) }
+func f2(x float64) string { return fmt.Sprintf("%.2f", x) }

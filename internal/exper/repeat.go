@@ -1,0 +1,101 @@
+package exper
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bwpart/internal/mathx"
+	"bwpart/internal/metrics"
+	"bwpart/internal/workload"
+)
+
+// RepeatabilityRow summarizes one objective's variation across seeds.
+type RepeatabilityRow struct {
+	Objective metrics.Objective
+	Mean      float64
+	Std       float64
+	// RSDPercent = 100*std/mean: the run-to-run noise figure.
+	RSDPercent float64
+}
+
+// RepeatabilityResult quantifies simulation run-to-run variation for one
+// (mix, scheme) across independent seeds. Workload generators are the only
+// stochastic element; this study backs EXPERIMENTS.md's claim that the
+// paper's orderings are stable across seeds.
+type RepeatabilityResult struct {
+	Mix    workload.Mix
+	Scheme string
+	Seeds  int
+	Rows   []RepeatabilityRow
+}
+
+// Repeatability runs (mix, scheme) under `seeds` different seeds and
+// reports mean, standard deviation and RSD per objective. Each seed gets
+// its own runner so alone profiles are re-measured under that seed too.
+func (r *Runner) Repeatability(mix workload.Mix, scheme string, seeds int) (*RepeatabilityResult, error) {
+	if seeds < 2 {
+		return nil, errors.New("exper: repeatability needs at least 2 seeds")
+	}
+	values := make(map[metrics.Objective][]float64, 4)
+	results := make([]*MixRun, seeds)
+	err := runJobs(seeds, func(i int) error {
+		cfg := r.cfg
+		cfg.Seed = r.cfg.Seed + int64(i)
+		sub, err := NewRunner(cfg)
+		if err != nil {
+			return err
+		}
+		run, err := sub.RunMix(mix, scheme)
+		if err != nil {
+			return err
+		}
+		results[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, run := range results {
+		for _, obj := range metrics.Objectives() {
+			values[obj] = append(values[obj], run.Values[obj])
+		}
+	}
+	out := &RepeatabilityResult{Mix: mix, Scheme: scheme, Seeds: seeds}
+	for _, obj := range metrics.Objectives() {
+		mean, std, err := mathx.MeanStd(values[obj])
+		if err != nil {
+			return nil, err
+		}
+		row := RepeatabilityRow{Objective: obj, Mean: mean, Std: std}
+		if mean != 0 {
+			row.RSDPercent = 100 * std / mean
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// MaxRSD returns the largest run-to-run RSD across objectives.
+func (rr *RepeatabilityResult) MaxRSD() float64 {
+	worst := 0.0
+	for _, row := range rr.Rows {
+		if row.RSDPercent > worst {
+			worst = row.RSDPercent
+		}
+	}
+	return worst
+}
+
+// Render prints the variation table.
+func (rr *RepeatabilityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Run-to-run variation: %s under %s over %d seeds\n", rr.Mix.Name, rr.Scheme, rr.Seeds)
+	t := newTable("objective", "mean", "std", "RSD")
+	for _, row := range rr.Rows {
+		t.addRow(row.Objective.String(), f3(row.Mean), fmt.Sprintf("%.4f", row.Std),
+			fmt.Sprintf("%.1f%%", row.RSDPercent))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

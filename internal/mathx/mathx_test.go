@@ -1,0 +1,284 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumKahanCompensation(t *testing.T) {
+	// 1 followed by many tiny values that naive summation would drop.
+	xs := make([]float64, 1+1e6)
+	xs[0] = 1
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-16
+	}
+	got := Sum(xs)
+	want := 1 + 1e6*1e-16
+	if !ApproxEqual(got, want, 0, 1e-12) {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	got, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || got != 2.5 {
+		t.Fatalf("Mean = %v, %v; want 2.5, nil", got, err)
+	}
+	if _, err := Mean(nil); err == nil {
+		t.Fatal("Mean(nil) should error")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	got, err := HarmonicMean([]float64{1, 1, 1})
+	if err != nil || got != 1 {
+		t.Fatalf("HarmonicMean(1,1,1) = %v, %v", got, err)
+	}
+	got, err = HarmonicMean([]float64{2, 2})
+	if err != nil || got != 2 {
+		t.Fatalf("HarmonicMean(2,2) = %v, %v", got, err)
+	}
+	// Classic: harmonic mean of 1 and 3 is 1.5.
+	got, err = HarmonicMean([]float64{1, 3})
+	if err != nil || !ApproxEqual(got, 1.5, 1e-12, 0) {
+		t.Fatalf("HarmonicMean(1,3) = %v, %v; want 1.5", got, err)
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Fatal("HarmonicMean with zero should error")
+	}
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Fatal("HarmonicMean(nil) should error")
+	}
+}
+
+func TestHarmonicLEArithmetic(t *testing.T) {
+	// AM-HM inequality, checked over random positive vectors.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.1 + r.Float64()*10
+		}
+		hm, err1 := HarmonicMean(xs)
+		am, err2 := Mean(xs)
+		return err1 == nil && err2 == nil && hm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Fatalf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Fatal("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Fatal("Max(nil) should error")
+	}
+}
+
+func TestStdDevConstant(t *testing.T) {
+	sd, err := StdDev([]float64{5, 5, 5, 5})
+	if err != nil || sd != 0 {
+		t.Fatalf("StdDev(const) = %v, %v; want 0", sd, err)
+	}
+}
+
+func TestRSDKnownValue(t *testing.T) {
+	// Values 2,4,4,4,5,5,7,9: mean 5, sum of squared deviations 32,
+	// sample stddev sqrt(32/7) => RSD = 100*sqrt(32/7)/5.
+	rsd, err := RSD([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	want := 100 * math.Sqrt(32.0/7.0) / 5
+	if err != nil || !ApproxEqual(rsd, want, 1e-9, 0) {
+		t.Fatalf("RSD = %v, %v; want %v", rsd, err, want)
+	}
+}
+
+func TestSampleStdDev(t *testing.T) {
+	sd, err := SampleStdDev([]float64{1, 3})
+	if err != nil || !ApproxEqual(sd, math.Sqrt2, 1e-12, 0) {
+		t.Fatalf("SampleStdDev(1,3) = %v, %v; want sqrt(2)", sd, err)
+	}
+	if _, err := SampleStdDev([]float64{1}); err == nil {
+		t.Fatal("single element should error")
+	}
+}
+
+func TestRSDErrors(t *testing.T) {
+	if _, err := RSD(nil); err == nil {
+		t.Fatal("RSD(nil) should error")
+	}
+	if _, err := RSD([]float64{1, -1}); err == nil {
+		t.Fatal("RSD with zero mean should error")
+	}
+	if _, err := RSD([]float64{5}); err == nil {
+		t.Fatal("RSD of one value should error")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out, err := Normalize([]float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0.25 || out[1] != 0.75 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	if _, err := Normalize([]float64{0, 0}); err == nil {
+		t.Fatal("Normalize of zeros should error")
+	}
+	if _, err := Normalize([]float64{-2, 1}); err == nil {
+		t.Fatal("Normalize of negative total should error")
+	}
+}
+
+func TestNormalizeDoesNotMutate(t *testing.T) {
+	in := []float64{2, 2}
+	if _, err := Normalize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 2 || in[1] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Float64() + 0.01
+		}
+		out, err := Normalize(xs)
+		return err == nil && OnSimplex(out, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnSimplex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want bool
+	}{
+		{[]float64{1}, true},
+		{[]float64{0.5, 0.5}, true},
+		{[]float64{0.6, 0.6}, false},
+		{[]float64{-0.1, 1.1}, false},
+		{nil, false},
+		{[]float64{math.NaN(), 1}, false},
+	}
+	for _, c := range cases {
+		if got := OnSimplex(c.xs, 1e-9); got != c.want {
+			t.Errorf("OnSimplex(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	got, err := Dot([]float64{1, 2}, []float64{3, 4})
+	if err != nil || got != 11 {
+		t.Fatalf("Dot = %v, %v", got, err)
+	}
+	if _, err := Dot([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("Dot of unequal lengths should error")
+	}
+}
+
+func TestAllPositive(t *testing.T) {
+	if !AllPositive([]float64{1, 2}) {
+		t.Fatal("AllPositive(1,2) = false")
+	}
+	if AllPositive([]float64{1, 0}) {
+		t.Fatal("AllPositive with zero = true")
+	}
+	if AllPositive(nil) {
+		t.Fatal("AllPositive(nil) = true")
+	}
+	if AllPositive([]float64{math.Inf(1)}) {
+		t.Fatal("AllPositive(+Inf) = true")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, 1e-9, 0) {
+		t.Fatal("absolute tolerance failed")
+	}
+	if !ApproxEqual(1e9, 1e9+1, 0, 1e-6) {
+		t.Fatal("relative tolerance failed")
+	}
+	if ApproxEqual(1, 2, 1e-9, 1e-9) {
+		t.Fatal("1 != 2")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	gm, err := GeoMean([]float64{1, 4})
+	if err != nil || !ApproxEqual(gm, 2, 1e-12, 0) {
+		t.Fatalf("GeoMean(1,4) = %v, %v; want 2", gm, err)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Fatal("GeoMean with zero should error")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("GeoMean(nil) should error")
+	}
+}
+
+func TestGeoMeanBetweenHarmonicAndArithmetic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 0.5 + r.Float64()*4
+		}
+		hm, _ := HarmonicMean(xs)
+		gm, _ := GeoMean(xs)
+		am, _ := Mean(xs)
+		return hm <= gm+1e-9 && gm <= am+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	m, s, err := MeanStd([]float64{1, 3})
+	if err != nil || m != 2 || !ApproxEqual(s, math.Sqrt2, 1e-12, 0) {
+		t.Fatalf("MeanStd = %v, %v, %v", m, s, err)
+	}
+	m, s, err = MeanStd([]float64{5})
+	if err != nil || m != 5 || s != 0 {
+		t.Fatalf("single element: %v, %v, %v", m, s, err)
+	}
+	if _, _, err := MeanStd(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

@@ -1,0 +1,24 @@
+// Package mem defines the request type and port interface shared by every
+// level of the memory hierarchy (L1, L2, memory controller). A component
+// accepts a Request through its Port and invokes the request's Done callback
+// at the cycle the data becomes available to the requester.
+package mem
+
+// Request is one memory access travelling down the hierarchy. Addr is a byte
+// address; components align it to their own line size. App identifies the
+// originating application (core) for bandwidth accounting and partitioning.
+type Request struct {
+	App   int
+	Addr  uint64
+	Write bool
+	// Done, if non-nil, is invoked exactly once when the access completes,
+	// with the completion cycle. Posted writes may have a nil Done.
+	Done func(cycle int64)
+}
+
+// Port accepts memory requests. Access returns false when the component
+// cannot take the request this cycle (structural hazard: MSHRs or queue
+// full); the caller must retry on a later cycle.
+type Port interface {
+	Access(now int64, req *Request) bool
+}

@@ -1,0 +1,56 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/mem"
+)
+
+// benchController drives a 4-app backlogged controller under the given
+// scheduler for b.N cycles.
+func benchController(b *testing.B, sched Scheduler) {
+	b.Helper()
+	cfg := dram.DDR2_400()
+	dev, err := dram.NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(dev, 4, 0, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	addr := [4]uint64{0, 1 << 40, 2 << 40, 3 << 40}
+	b.ResetTimer()
+	for cyc := int64(0); cyc < int64(b.N); cyc++ {
+		for app := 0; app < 4; app++ {
+			for c.PendingFor(app) < 8 {
+				c.Access(cyc, &mem.Request{App: app, Addr: addr[app]})
+				addr[app] += uint64(64 * (1 + r.Intn(8)))
+			}
+		}
+		c.Tick(cyc)
+	}
+}
+
+func BenchmarkTickFCFS(b *testing.B) { benchController(b, NewFCFS()) }
+
+func BenchmarkTickStartTimeFair(b *testing.B) {
+	stf, err := NewStartTimeFair([]float64{0.4, 0.3, 0.2, 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchController(b, stf)
+}
+
+func BenchmarkTickPriority(b *testing.B) {
+	pr, err := NewPriority([]int{2, 0, 3, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchController(b, pr)
+}
+
+func BenchmarkTickFRFCFS(b *testing.B) { benchController(b, NewFRFCFS(8)) }

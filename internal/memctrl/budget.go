@@ -1,0 +1,100 @@
+package memctrl
+
+import (
+	"errors"
+
+	"bwpart/internal/dram"
+)
+
+// BudgetThrottle enforces bandwidth shares with per-period access budgets,
+// the MemGuard-style alternative to start-time fair queueing: each period,
+// every application receives a budget of accesses proportional to its
+// share; applications with remaining budget are served first (oldest-
+// first among them) and over-budget applications only get leftover slots
+// (work conserving). Compared to STF, enforcement is bursty within a
+// period but identical in the long-run average.
+type BudgetThrottle struct {
+	shares       []float64
+	PeriodCycles int64
+
+	budget    []float64
+	periodEnd int64
+	perPeriod float64 // total serviceable accesses per period
+	init      bool
+}
+
+// NewBudgetThrottle builds the throttler for the given share vector
+// (positive, normalized internally) and replenishment period.
+func NewBudgetThrottle(shares []float64, periodCycles int64) (*BudgetThrottle, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("memctrl: empty share vector")
+	}
+	if periodCycles <= 0 {
+		return nil, errors.New("memctrl: period must be positive")
+	}
+	var total float64
+	for _, s := range shares {
+		if s <= 0 {
+			return nil, errors.New("memctrl: shares must be positive")
+		}
+		total += s
+	}
+	b := &BudgetThrottle{
+		shares:       make([]float64, len(shares)),
+		PeriodCycles: periodCycles,
+		budget:       make([]float64, len(shares)),
+	}
+	for i, s := range shares {
+		b.shares[i] = s / total
+	}
+	return b, nil
+}
+
+func (*BudgetThrottle) Name() string   { return "BudgetThrottle" }
+func (*BudgetThrottle) HeadOnly() bool { return true }
+
+func (b *BudgetThrottle) OnIssue(e *Entry) {
+	b.budget[e.Req.App]--
+}
+
+// replenish resets budgets at period boundaries. The per-period service
+// capacity derives from the data-bus burst time.
+func (b *BudgetThrottle) replenish(now int64, dev *dram.Device) {
+	if b.init && now < b.periodEnd {
+		return
+	}
+	if !b.init {
+		burst := dev.Timing().Burst
+		if burst <= 0 {
+			burst = 1
+		}
+		b.perPeriod = float64(b.PeriodCycles) / float64(burst) * float64(dev.Config().Channels)
+		b.init = true
+	}
+	for i, s := range b.shares {
+		b.budget[i] = s * b.perPeriod
+	}
+	b.periodEnd = now + b.PeriodCycles
+}
+
+func (b *BudgetThrottle) Pick(now int64, c *Controller, dev *dram.Device) Pick {
+	b.replenish(now, dev)
+	var inBudget, overBudget *Entry
+	for a := range c.queues {
+		e := issuableHead(c, dev, a, now)
+		if e == nil {
+			continue
+		}
+		if a < len(b.budget) && b.budget[a] >= 1 {
+			if inBudget == nil || e.seq < inBudget.seq {
+				inBudget = e
+			}
+		} else if overBudget == nil || e.seq < overBudget.seq {
+			overBudget = e
+		}
+	}
+	if inBudget != nil {
+		return Pick{Entry: inBudget}
+	}
+	return Pick{Entry: overBudget}
+}

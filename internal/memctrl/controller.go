@@ -1,0 +1,342 @@
+// Package memctrl implements the shared memory controller: per-application
+// request queues in front of the DRAM device, a pluggable scheduling policy
+// (FCFS, FR-FCFS, start-time-fair bandwidth partitioning, strict priority),
+// per-application bandwidth accounting, and the interference detector the
+// paper's online APC_alone profiler relies on (Sec. IV-B and IV-C).
+package memctrl
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/event"
+	"bwpart/internal/mem"
+)
+
+// Entry is one queued memory request together with the controller-side
+// metadata scheduling policies need.
+type Entry struct {
+	Req    *mem.Request
+	Coord  dram.Coord
+	Arrive int64 // enqueue cycle
+	seq    int64 // global arrival sequence, breaks same-cycle ties
+}
+
+// AppStats accumulates per-application counters over a measurement window.
+type AppStats struct {
+	Reads  int64 // read accesses completed (data transferred)
+	Writes int64 // write accesses completed
+	// InterferenceCycles counts cycles in which this app had a pending
+	// request that was delayed by another application's occupancy of the
+	// data bus or a bank, or by the scheduler choosing another app's
+	// request. This is the paper's T_cyc,interference,i counter (Eq. 13).
+	InterferenceCycles int64
+	// QueueWaitCycles sums, over completed requests, cycles spent between
+	// arrival and issue (for diagnostics).
+	QueueWaitCycles int64
+}
+
+// Served returns total completed accesses (reads + writes), the paper's
+// N_accesses,i counter.
+func (s AppStats) Served() int64 { return s.Reads + s.Writes }
+
+// Controller is the shared off-chip memory controller. It is driven
+// cycle-by-cycle via Tick from a single goroutine.
+type Controller struct {
+	dev     *dram.Device
+	sched   Scheduler
+	events  event.Queue
+	queues  []fifo // one per app
+	queued  int    // total entries across queues
+	cap     int    // max total queued entries (0 = unbounded)
+	numApps int
+	seq     int64
+	stats   []AppStats
+	// nextTry caches the earliest cycle at which a currently blocked issue
+	// attempt could succeed, to skip pointless scans on idle cycles.
+	nextTry int64
+	// inFlight counts issued-but-not-completed accesses. Issue is gated at
+	// maxInFlight so the scheduler, not bank-readiness order, decides who
+	// receives data-bus slots: a real controller issues a column command
+	// only when the burst can be placed soon, it does not build an
+	// unbounded backlog of reserved bus slots.
+	inFlight    int
+	maxInFlight int
+	// tracer, when set, observes every issued access (cycle, app, addr,
+	// write). Used for off-chip trace recording.
+	tracer func(cycle int64, app int, addr uint64, write bool)
+}
+
+// New builds a controller over dev for numApps applications with the given
+// total queue capacity (entries). queueCap <= 0 means unbounded.
+func New(dev *dram.Device, numApps, queueCap int, sched Scheduler) (*Controller, error) {
+	if dev == nil {
+		return nil, errors.New("memctrl: nil device")
+	}
+	if numApps <= 0 {
+		return nil, errors.New("memctrl: numApps must be positive")
+	}
+	if sched == nil {
+		return nil, errors.New("memctrl: nil scheduler")
+	}
+	return &Controller{
+		dev:     dev,
+		sched:   sched,
+		queues:  make([]fifo, numApps),
+		cap:     queueCap,
+		numApps: numApps,
+		stats:   make([]AppStats, numApps),
+		// Enough in-flight accesses to overlap activate+CAS latency with
+		// the previous bursts on each channel, and no more.
+		maxInFlight: 3 * dev.Config().Channels,
+	}, nil
+}
+
+// SetTracer installs (or clears, with nil) an observer invoked at every
+// issue with the access's cycle, application, address and direction.
+func (c *Controller) SetTracer(fn func(cycle int64, app int, addr uint64, write bool)) {
+	c.tracer = fn
+}
+
+// SetMaxInFlight overrides how many accesses may be issued to the device
+// before earlier ones complete. Values below 1 are rejected.
+func (c *Controller) SetMaxInFlight(n int) error {
+	if n < 1 {
+		return errors.New("memctrl: maxInFlight must be >= 1")
+	}
+	c.maxInFlight = n
+	return nil
+}
+
+// Device exposes the underlying DRAM device (read-only use intended).
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Scheduler returns the active scheduling policy.
+func (c *Controller) Scheduler() Scheduler { return c.sched }
+
+// SetScheduler swaps the scheduling policy (e.g. at a repartitioning
+// interval boundary). Queued requests are retained.
+func (c *Controller) SetScheduler(s Scheduler) error {
+	if s == nil {
+		return errors.New("memctrl: nil scheduler")
+	}
+	c.sched = s
+	return nil
+}
+
+// Access implements mem.Port. It enqueues the request, returning false when
+// the controller queue is full.
+func (c *Controller) Access(now int64, req *mem.Request) bool {
+	if req.App < 0 || req.App >= c.numApps {
+		panic(fmt.Sprintf("memctrl: request from unknown app %d", req.App))
+	}
+	if c.cap > 0 && c.queued >= c.cap {
+		return false
+	}
+	c.seq++
+	c.queues[req.App].push(&Entry{
+		Req:    req,
+		Coord:  c.dev.Config().Decode(req.Addr),
+		Arrive: now,
+		seq:    c.seq,
+	})
+	c.queued++
+	c.nextTry = 0 // new work: re-scan immediately
+	return true
+}
+
+// Pending returns the number of queued (not yet issued) requests.
+func (c *Controller) Pending() int { return c.queued }
+
+// PendingFor returns the number of queued requests for one app.
+func (c *Controller) PendingFor(app int) int { return c.queues[app].len() }
+
+// Tick advances the controller by one cycle: deliver completions, account
+// interference, and issue requests to the DRAM device — at most one per
+// channel per cycle (each channel has its own command path).
+func (c *Controller) Tick(now int64) {
+	c.events.RunUntil(now)
+
+	if c.queued == 0 {
+		return
+	}
+
+	var issued *Entry
+	if now >= c.nextTry || !c.sched.HeadOnly() {
+		channels := c.dev.Config().Channels
+		for k := 0; k < channels; k++ {
+			e := c.issueOne(now)
+			if e == nil {
+				break
+			}
+			if issued == nil {
+				issued = e
+			}
+		}
+	}
+	c.accountInterference(now, issued)
+}
+
+// issueOne asks the scheduler for a victim among issuable entries and
+// issues it. Returns the issued entry or nil.
+func (c *Controller) issueOne(now int64) *Entry {
+	if c.inFlight >= c.maxInFlight {
+		// Pipeline full: wait for a completion. Completions reset nextTry.
+		if next, ok := c.events.NextCycle(); ok && c.sched.HeadOnly() {
+			c.nextTry = next
+		}
+		return nil
+	}
+	pick := c.sched.Pick(now, c, c.dev)
+	if pick.Entry == nil {
+		if c.sched.HeadOnly() {
+			// Nothing issuable: sleep until the earliest head's bank frees.
+			c.nextTry = c.earliestBankReady(now)
+		}
+		return nil
+	}
+	e := pick.Entry
+	c.removeEntry(pick)
+	complete := c.dev.Issue(now, e.Coord, e.Req.App, e.Req.Write)
+	c.sched.OnIssue(e)
+	if c.tracer != nil {
+		c.tracer(now, e.Req.App, e.Req.Addr, e.Req.Write)
+	}
+	app := e.Req.App
+	wait := now - e.Arrive
+	done := e.Req.Done
+	write := e.Req.Write
+	c.inFlight++
+	c.events.At(complete, func() {
+		c.inFlight--
+		c.nextTry = 0 // a pipeline slot and a bank freed: re-scan
+		st := &c.stats[app]
+		if write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		st.QueueWaitCycles += wait
+		if done != nil {
+			done(complete)
+		}
+	})
+	return e
+}
+
+// Pick identifies a scheduler choice: the entry plus its location so the
+// controller can dequeue it. Depth is the entry's position within its
+// app FIFO (0 = oldest).
+type Pick struct {
+	Entry *Entry
+	Depth int
+}
+
+// removeEntry dequeues the picked entry. Policies may pick beyond the head
+// (FR-FCFS row hits), so removal splices within the app FIFO when needed.
+func (c *Controller) removeEntry(p Pick) {
+	q := &c.queues[p.Entry.Req.App]
+	if p.Depth == 0 {
+		q.pop()
+	} else {
+		// Splice: shift younger entries up one slot. Row-hit picks are
+		// shallow in practice, so the O(depth) move is fine.
+		for i := p.Depth; i > 0; i-- {
+			q.items[q.head+i] = q.items[q.head+i-1]
+		}
+		q.pop()
+	}
+	c.queued--
+}
+
+// earliestBankReady returns the earliest cycle any queued head's bank frees
+// up (used to skip scans while every candidate is blocked).
+func (c *Controller) earliestBankReady(now int64) int64 {
+	earliest := now + 1
+	first := true
+	for a := range c.queues {
+		e := c.queues[a].peek()
+		if e == nil {
+			continue
+		}
+		// Conservative: we only know the bank becomes ready at readyAt; new
+		// arrivals reset nextTry anyway.
+		t := now + 1
+		if !c.dev.BankReady(e.Coord, now) {
+			t = c.bankReadyAt(e.Coord, now)
+		}
+		if first || t < earliest {
+			earliest = t
+			first = false
+		}
+	}
+	return earliest
+}
+
+// bankReadyAt finds the bank's ready cycle by probing BankReady. The device
+// does not export readyAt directly; a bounded doubling search keeps this
+// O(log wait).
+func (c *Controller) bankReadyAt(co dram.Coord, now int64) int64 {
+	lo, hi := now, now+1
+	for !c.dev.BankReady(co, hi) {
+		span := hi - lo
+		lo = hi
+		hi += span * 2
+		if hi-now > 1<<20 { // safety bound; refresh/precharge are far shorter
+			return hi
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.dev.BankReady(co, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// accountInterference implements the paper's per-cycle interference
+// detection: for every app with a pending oldest request, increment its
+// interference counter if that request is delayed this cycle by another
+// application (bank held by another app, data bus backlogged by another
+// app, or the scheduler issued another app's request while this one was
+// ready). Delays caused by the app's own earlier requests do not count.
+func (c *Controller) accountInterference(now int64, issued *Entry) {
+	for a := 0; a < c.numApps; a++ {
+		e := c.queues[a].peek()
+		if e == nil {
+			continue
+		}
+		bl := c.dev.Contention(e.Coord, a, now)
+		switch {
+		case bl.Blocked && bl.App != a && bl.App >= 0:
+			c.stats[a].InterferenceCycles++
+		case !bl.Blocked && issued != nil && issued.Req.App != a:
+			// Resource was free but the scheduler preferred another app.
+			c.stats[a].InterferenceCycles++
+		}
+	}
+}
+
+// Stats returns a copy of the per-app counters.
+func (c *Controller) Stats() []AppStats {
+	out := make([]AppStats, len(c.stats))
+	copy(out, c.stats)
+	return out
+}
+
+// ResetStats zeroes per-app counters (e.g. at the start of a measurement
+// window). Queued requests and scheduler state are unaffected.
+func (c *Controller) ResetStats() {
+	for i := range c.stats {
+		c.stats[i] = AppStats{}
+	}
+}
+
+// Drained reports whether no requests are queued or in flight.
+func (c *Controller) Drained() bool {
+	return c.queued == 0 && c.events.Len() == 0
+}

@@ -1,0 +1,117 @@
+package memctrl
+
+import (
+	"errors"
+
+	"bwpart/internal/dram"
+)
+
+// WriteDrain wraps any scheduler with a read-priority write-buffering
+// policy, the mechanism behind Virtual Write Queue (Stuecheli et al.,
+// ISCA'10, cited by the paper): posted writes are held while reads are
+// pending and drained in batches once the write backlog crosses a high
+// watermark (or nothing else is ready), amortizing bus turnaround.
+//
+// The wrapped scheduler keeps making the *inter-application* choice; the
+// wrapper only decides when the write class gets the channel.
+type WriteDrain struct {
+	inner Scheduler
+	// HighWatermark starts a drain burst when at least this many writes
+	// are queued; DrainTo stops the burst at this backlog.
+	HighWatermark int
+	DrainTo       int
+	draining      bool
+}
+
+// NewWriteDrain wraps inner with write buffering. highWatermark must
+// exceed drainTo (both non-negative).
+func NewWriteDrain(inner Scheduler, highWatermark, drainTo int) (*WriteDrain, error) {
+	if inner == nil {
+		return nil, errors.New("memctrl: nil inner scheduler")
+	}
+	if highWatermark <= 0 || drainTo < 0 || drainTo >= highWatermark {
+		return nil, errors.New("memctrl: need highWatermark > drainTo >= 0")
+	}
+	return &WriteDrain{inner: inner, HighWatermark: highWatermark, DrainTo: drainTo}, nil
+}
+
+func (w *WriteDrain) Name() string { return w.inner.Name() + "+write-drain" }
+
+// HeadOnly defers to the inner policy; the class filter only ever skips
+// candidates, which is safe for the controller's head-only fast path
+// exactly when the inner policy's is.
+func (w *WriteDrain) HeadOnly() bool { return false }
+
+func (w *WriteDrain) OnIssue(e *Entry) { w.inner.OnIssue(e) }
+
+// classCounts tallies queued reads and writes.
+func classCounts(c *Controller) (reads, writes int) {
+	for a := range c.queues {
+		q := &c.queues[a]
+		for i := 0; i < q.len(); i++ {
+			if q.at(i).Req.Write {
+				writes++
+			} else {
+				reads++
+			}
+		}
+	}
+	return reads, writes
+}
+
+// pickClass runs the inner scheduler but only accepts entries of the
+// wanted class, by scanning each app's queue for its oldest entry of that
+// class that is bank-ready.
+func pickClass(c *Controller, dev *dram.Device, now int64, write bool) Pick {
+	var best Pick
+	for a := range c.queues {
+		q := &c.queues[a]
+		n := q.len()
+		for i := 0; i < n; i++ {
+			e := q.at(i)
+			if e.Req.Write != write {
+				continue
+			}
+			if !dev.BankReady(e.Coord, now) {
+				break // within an app, keep order per class conservatively
+			}
+			if best.Entry == nil || e.seq < best.Entry.seq {
+				best = Pick{Entry: e, Depth: i}
+			}
+			break // only the app's oldest entry of this class
+		}
+	}
+	return best
+}
+
+func (w *WriteDrain) Pick(now int64, c *Controller, dev *dram.Device) Pick {
+	reads, writes := classCounts(c)
+	if w.draining && writes <= w.DrainTo {
+		w.draining = false
+	}
+	if !w.draining && writes >= w.HighWatermark {
+		w.draining = true
+	}
+	if w.draining || reads == 0 {
+		if p := pickClass(c, dev, now, true); p.Entry != nil {
+			return p
+		}
+		// No write issuable: fall through to reads (work conservation).
+	}
+	// Read phase: prefer the inner policy's choice among reads.
+	if p := w.innerReadPick(now, c, dev); p.Entry != nil {
+		return p
+	}
+	// No read issuable either: try writes regardless of watermark.
+	return pickClass(c, dev, now, true)
+}
+
+// innerReadPick asks the inner scheduler for a pick and accepts it only if
+// it is a read; otherwise it falls back to the oldest issuable read.
+func (w *WriteDrain) innerReadPick(now int64, c *Controller, dev *dram.Device) Pick {
+	p := w.inner.Pick(now, c, dev)
+	if p.Entry != nil && !p.Entry.Req.Write {
+		return p
+	}
+	return pickClass(c, dev, now, false)
+}

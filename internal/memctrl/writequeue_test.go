@@ -1,0 +1,131 @@
+package memctrl
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/mem"
+)
+
+func TestWriteDrainValidation(t *testing.T) {
+	if _, err := NewWriteDrain(nil, 8, 2); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewWriteDrain(NewFCFS(), 0, 0); err == nil {
+		t.Error("zero watermark accepted")
+	}
+	if _, err := NewWriteDrain(NewFCFS(), 4, 4); err == nil {
+		t.Error("drainTo >= watermark accepted")
+	}
+	if _, err := NewWriteDrain(NewFCFS(), 4, -1); err == nil {
+		t.Error("negative drainTo accepted")
+	}
+	wd, err := NewWriteDrain(NewFCFS(), 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wd.Name() != "FCFS+write-drain" {
+		t.Fatalf("name = %s", wd.Name())
+	}
+}
+
+func TestWriteDrainPrioritizesReads(t *testing.T) {
+	// A write arrives before a read; with few writes buffered (below the
+	// watermark) the read must be served first.
+	dev := testDevice(t, dram.ClosePage)
+	wd, _ := NewWriteDrain(NewFCFS(), 8, 2)
+	c, _ := New(dev, 1, 0, wd)
+	var order []string
+	c.Access(0, &mem.Request{App: 0, Addr: 0, Write: true,
+		Done: func(int64) { order = append(order, "w") }})
+	c.Access(1, &mem.Request{App: 0, Addr: 1 << 21,
+		Done: func(int64) { order = append(order, "r") }})
+	run(c, 0, 10_000)
+	if len(order) != 2 || order[0] != "r" {
+		t.Fatalf("order = %v, want read first", order)
+	}
+}
+
+func TestWriteDrainBurstsAtWatermark(t *testing.T) {
+	// Fill the write backlog past the watermark alongside a steady read
+	// stream: writes must drain in a contiguous burst (down to DrainTo)
+	// rather than interleave one-for-one.
+	dev := testDevice(t, dram.ClosePage)
+	wd, _ := NewWriteDrain(NewFCFS(), 6, 1)
+	c, _ := New(dev, 1, 0, wd)
+	r := rand.New(rand.NewSource(3))
+	var order []byte
+	addr := uint64(0)
+	push := func(write bool, cyc int64) {
+		ch := byte('r')
+		if write {
+			ch = 'w'
+		}
+		c.Access(cyc, &mem.Request{App: 0, Addr: addr, Write: write,
+			Done: func(int64) { order = append(order, ch) }})
+		addr += uint64(64 * (1 + r.Intn(16)))
+	}
+	// 8 writes queued up front, then keep a read backlog.
+	for i := 0; i < 8; i++ {
+		push(true, 0)
+	}
+	for cyc := int64(0); cyc < 60_000; cyc++ {
+		if c.PendingFor(0) < 12 && len(order) < 40 {
+			push(false, cyc)
+		}
+		c.Tick(cyc)
+	}
+	if len(order) < 20 {
+		t.Fatalf("too little service: %d", len(order))
+	}
+	// Find the longest consecutive run of writes: with an 8-deep backlog
+	// over the watermark of 6 it must drain most of them back-to-back.
+	longest, cur := 0, 0
+	for _, ch := range order {
+		if ch == 'w' {
+			cur++
+			if cur > longest {
+				longest = cur
+			}
+		} else {
+			cur = 0
+		}
+	}
+	if longest < 5 {
+		t.Fatalf("writes did not burst: longest run %d in %s", longest, order)
+	}
+}
+
+func TestWriteDrainWorkConservation(t *testing.T) {
+	// Only writes pending and below watermark: they must still be served
+	// (no read to wait for).
+	dev := testDevice(t, dram.ClosePage)
+	wd, _ := NewWriteDrain(NewFCFS(), 100, 10)
+	c, _ := New(dev, 1, 0, wd)
+	served := 0
+	for i := 0; i < 3; i++ {
+		c.Access(0, &mem.Request{App: 0, Addr: uint64(i) << 21, Write: true,
+			Done: func(int64) { served++ }})
+	}
+	run(c, 0, 10_000)
+	if served != 3 {
+		t.Fatalf("served %d writes, want 3", served)
+	}
+}
+
+func TestWriteDrainPreservesInnerChoiceAmongReads(t *testing.T) {
+	// Inner = strict priority for app 1: among reads, app 1 wins even if
+	// app 0's read is older.
+	dev := testDevice(t, dram.ClosePage)
+	pr, _ := NewPriority([]int{1, 0})
+	wd, _ := NewWriteDrain(pr, 8, 2)
+	c, _ := New(dev, 2, 0, wd)
+	var order []int
+	c.Access(0, &mem.Request{App: 0, Addr: 0, Done: func(int64) { order = append(order, 0) }})
+	c.Access(1, &mem.Request{App: 1, Addr: 1 << 41, Done: func(int64) { order = append(order, 1) }})
+	run(c, 0, 10_000)
+	if len(order) != 2 || order[0] != 1 {
+		t.Fatalf("order = %v, want app 1 first", order)
+	}
+}

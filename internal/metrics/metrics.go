@@ -1,0 +1,150 @@
+// Package metrics implements the four system-level performance objectives
+// the paper optimizes: harmonic weighted speedup (Eq. 3), weighted speedup
+// (Eq. 9), sum of IPCs (Eq. 10), and minimum fairness (Eq. 14). All of them
+// are IPC-based, which is what lets the analytical model translate them
+// into APC optimization problems via IPC = APC/API.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDimension is returned when shared/alone vectors disagree in length or
+// are empty.
+var ErrDimension = errors.New("metrics: shared and alone IPC vectors must be non-empty and equal length")
+
+func check(shared, alone []float64) error {
+	if len(shared) == 0 || len(shared) != len(alone) {
+		return ErrDimension
+	}
+	for i := range shared {
+		if shared[i] < 0 {
+			return fmt.Errorf("metrics: negative shared IPC at %d", i)
+		}
+		if alone[i] <= 0 {
+			return fmt.Errorf("metrics: non-positive alone IPC at %d", i)
+		}
+	}
+	return nil
+}
+
+// Speedups returns shared_i / alone_i per application.
+func Speedups(shared, alone []float64) ([]float64, error) {
+	if err := check(shared, alone); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(shared))
+	for i := range shared {
+		out[i] = shared[i] / alone[i]
+	}
+	return out, nil
+}
+
+// Hsp returns the harmonic weighted speedup (Eq. 3):
+// N / sum_i(IPC_alone,i / IPC_shared,i). Any application with zero shared
+// IPC (fully starved) drives Hsp to zero, matching the metric's intent.
+func Hsp(shared, alone []float64) (float64, error) {
+	if err := check(shared, alone); err != nil {
+		return 0, err
+	}
+	var denom float64
+	for i := range shared {
+		if shared[i] == 0 {
+			return 0, nil
+		}
+		denom += alone[i] / shared[i]
+	}
+	return float64(len(shared)) / denom, nil
+}
+
+// Wsp returns the weighted speedup (Eq. 9): sum_i(shared_i/alone_i) / N.
+func Wsp(shared, alone []float64) (float64, error) {
+	if err := check(shared, alone); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i := range shared {
+		sum += shared[i] / alone[i]
+	}
+	return sum / float64(len(shared)), nil
+}
+
+// IPCSum returns the plain throughput metric (Eq. 10): sum of shared IPCs.
+func IPCSum(shared []float64) (float64, error) {
+	if len(shared) == 0 {
+		return 0, ErrDimension
+	}
+	var sum float64
+	for i, v := range shared {
+		if v < 0 {
+			return 0, fmt.Errorf("metrics: negative shared IPC at %d", i)
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// MinFairness returns the paper's minimum fairness criterion (Eq. 14):
+// N * min_i(shared_i/alone_i). The system "achieves minimum fairness" when
+// the result is at least 1 (every app keeps at least 1/N of its alone
+// performance).
+func MinFairness(shared, alone []float64) (float64, error) {
+	sp, err := Speedups(shared, alone)
+	if err != nil {
+		return 0, err
+	}
+	min := sp[0]
+	for _, s := range sp[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return float64(len(sp)) * min, nil
+}
+
+// Objective identifies one of the paper's four optimization targets.
+type Objective int
+
+const (
+	ObjectiveHsp Objective = iota
+	ObjectiveMinFairness
+	ObjectiveWsp
+	ObjectiveIPCSum
+)
+
+// Objectives lists all four in the paper's presentation order.
+func Objectives() []Objective {
+	return []Objective{ObjectiveHsp, ObjectiveMinFairness, ObjectiveWsp, ObjectiveIPCSum}
+}
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveHsp:
+		return "harmonic-weighted-speedup"
+	case ObjectiveMinFairness:
+		return "min-fairness"
+	case ObjectiveWsp:
+		return "weighted-speedup"
+	case ObjectiveIPCSum:
+		return "ipc-sum"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Eval computes the objective value for the given shared/alone IPC vectors.
+func (o Objective) Eval(shared, alone []float64) (float64, error) {
+	switch o {
+	case ObjectiveHsp:
+		return Hsp(shared, alone)
+	case ObjectiveMinFairness:
+		return MinFairness(shared, alone)
+	case ObjectiveWsp:
+		return Wsp(shared, alone)
+	case ObjectiveIPCSum:
+		return IPCSum(shared)
+	default:
+		return 0, fmt.Errorf("metrics: unknown objective %d", int(o))
+	}
+}

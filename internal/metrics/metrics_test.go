@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSpeedups(t *testing.T) {
+	sp, err := Speedups([]float64{1, 2}, []float64{2, 2})
+	if err != nil || !approx(sp[0], 0.5) || !approx(sp[1], 1) {
+		t.Fatalf("Speedups = %v, %v", sp, err)
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	if _, err := Hsp(nil, nil); err == nil {
+		t.Error("Hsp(nil) accepted")
+	}
+	if _, err := Wsp([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("Wsp length mismatch accepted")
+	}
+	if _, err := MinFairness([]float64{1}, []float64{0}); err == nil {
+		t.Error("zero alone IPC accepted")
+	}
+	if _, err := IPCSum(nil); err == nil {
+		t.Error("IPCSum(nil) accepted")
+	}
+	if _, err := IPCSum([]float64{-1}); err == nil {
+		t.Error("negative IPC accepted")
+	}
+	if _, err := Hsp([]float64{-0.1}, []float64{1}); err == nil {
+		t.Error("negative shared IPC accepted")
+	}
+}
+
+func TestAllEqualSpeedupsGiveSameValue(t *testing.T) {
+	// When every app runs at exactly half its alone speed, Hsp = Wsp = 0.5
+	// and MinFairness = N * 0.5.
+	shared := []float64{0.5, 1.0, 1.5}
+	alone := []float64{1.0, 2.0, 3.0}
+	h, _ := Hsp(shared, alone)
+	w, _ := Wsp(shared, alone)
+	f, _ := MinFairness(shared, alone)
+	if !approx(h, 0.5) || !approx(w, 0.5) || !approx(f, 1.5) {
+		t.Fatalf("h=%v w=%v f=%v", h, w, f)
+	}
+}
+
+func TestHspKnownValue(t *testing.T) {
+	// Speedups 1 and 1/3: Hsp = 2/(1+3) = 0.5.
+	h, err := Hsp([]float64{1, 1}, []float64{1, 3})
+	if err != nil || !approx(h, 0.5) {
+		t.Fatalf("Hsp = %v, %v", h, err)
+	}
+}
+
+func TestHspZeroSharedIsZero(t *testing.T) {
+	h, err := Hsp([]float64{0, 1}, []float64{1, 1})
+	if err != nil || h != 0 {
+		t.Fatalf("Hsp with starved app = %v, %v; want 0", h, err)
+	}
+}
+
+func TestWspKnownValue(t *testing.T) {
+	w, err := Wsp([]float64{1, 1}, []float64{1, 2})
+	if err != nil || !approx(w, 0.75) {
+		t.Fatalf("Wsp = %v, %v; want 0.75", w, err)
+	}
+}
+
+func TestIPCSum(t *testing.T) {
+	s, err := IPCSum([]float64{0.25, 0.5, 1})
+	if err != nil || !approx(s, 1.75) {
+		t.Fatalf("IPCSum = %v, %v", s, err)
+	}
+}
+
+func TestMinFairnessThreshold(t *testing.T) {
+	// Paper: minimum fairness achieved when every app has >= 1/N speedup.
+	shared := []float64{0.25, 0.5}
+	alone := []float64{0.5, 1.0}
+	f, err := MinFairness(shared, alone)
+	if err != nil || !approx(f, 1.0) {
+		t.Fatalf("MinFairness = %v, %v; want exactly 1.0", f, err)
+	}
+}
+
+func TestHspLEWsp(t *testing.T) {
+	// Harmonic mean <= arithmetic mean of speedups, always.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		shared := make([]float64, n)
+		alone := make([]float64, n)
+		for i := range shared {
+			alone[i] = 0.1 + r.Float64()*2
+			shared[i] = alone[i] * (0.05 + r.Float64())
+		}
+		h, err1 := Hsp(shared, alone)
+		w, err2 := Wsp(shared, alone)
+		return err1 == nil && err2 == nil && h <= w+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinFairnessLENWsp(t *testing.T) {
+	// N*min(speedup) <= sum(speedup) = N*Wsp.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		shared := make([]float64, n)
+		alone := make([]float64, n)
+		for i := range shared {
+			alone[i] = 0.1 + r.Float64()*2
+			shared[i] = alone[i] * (0.05 + r.Float64())
+		}
+		mf, err1 := MinFairness(shared, alone)
+		w, err2 := Wsp(shared, alone)
+		return err1 == nil && err2 == nil && mf <= float64(n)*w+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinFairnessLEHsp(t *testing.T) {
+	// The harmonic mean of speedups is at least the minimum speedup, so
+	// MinFairness = N*min <= N*Hsp... actually Hsp >= min(speedup), hence
+	// MinF/N <= Hsp.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		shared := make([]float64, n)
+		alone := make([]float64, n)
+		for i := range shared {
+			alone[i] = 0.1 + r.Float64()*2
+			shared[i] = alone[i] * (0.05 + r.Float64())
+		}
+		mf, err1 := MinFairness(shared, alone)
+		h, err2 := Hsp(shared, alone)
+		return err1 == nil && err2 == nil && mf/float64(n) <= h+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveEvalDispatch(t *testing.T) {
+	shared := []float64{0.5, 1}
+	alone := []float64{1, 1}
+	for _, obj := range Objectives() {
+		v, err := obj.Eval(shared, alone)
+		if err != nil {
+			t.Errorf("%v: %v", obj, err)
+		}
+		var want float64
+		switch obj {
+		case ObjectiveHsp:
+			want, _ = Hsp(shared, alone)
+		case ObjectiveWsp:
+			want, _ = Wsp(shared, alone)
+		case ObjectiveIPCSum:
+			want, _ = IPCSum(shared)
+		case ObjectiveMinFairness:
+			want, _ = MinFairness(shared, alone)
+		}
+		if !approx(v, want) {
+			t.Errorf("%v: Eval=%v direct=%v", obj, v, want)
+		}
+	}
+	if _, err := Objective(99).Eval(shared, alone); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	names := map[string]bool{}
+	for _, o := range Objectives() {
+		s := o.String()
+		if s == "" || names[s] {
+			t.Fatalf("objective %d has bad/duplicate name %q", int(o), s)
+		}
+		names[s] = true
+	}
+	if len(names) != 4 {
+		t.Fatalf("expected 4 objectives, got %d", len(names))
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/core"
+	"bwpart/internal/memctrl"
+)
+
+// ApplyNoPartitioning installs the FCFS baseline (the paper's
+// No_partitioning configuration).
+func (s *System) ApplyNoPartitioning() error {
+	return s.ctrl.SetScheduler(memctrl.NewFCFS())
+}
+
+// ApplyScheme installs the enforcement mechanism for a partitioning scheme
+// derived from the analytical model: weight-based schemes run on the
+// start-time-fair scheduler with the scheme's share vector (paper
+// Sec. IV-B); priority schemes run on the strict-priority scheduler with
+// the scheme's app ordering.
+func (s *System) ApplyScheme(sch core.Scheme, apcAlone, api []float64) error {
+	if len(apcAlone) != s.NumApps() || len(api) != s.NumApps() {
+		return fmt.Errorf("sim: profile vectors of length %d/%d for %d apps",
+			len(apcAlone), len(api), s.NumApps())
+	}
+	switch v := sch.(type) {
+	case *core.WeightScheme:
+		shares, err := v.Shares(apcAlone)
+		if err != nil {
+			return err
+		}
+		stf, err := memctrl.NewStartTimeFair(shares)
+		if err != nil {
+			return err
+		}
+		return s.ctrl.SetScheduler(stf)
+	case *core.PriorityScheme:
+		order, err := v.Order(apcAlone, api)
+		if err != nil {
+			return err
+		}
+		pr, err := memctrl.NewPriority(order)
+		if err != nil {
+			return err
+		}
+		return s.ctrl.SetScheduler(pr)
+	default:
+		return fmt.Errorf("sim: no enforcement mechanism for scheme type %T", sch)
+	}
+}
+
+// ApplyShares installs an explicit share vector on the start-time-fair
+// scheduler (used for QoS allocations computed by core.QoSAllocate, where
+// the target APCs translate directly into shares of B).
+func (s *System) ApplyShares(shares []float64) error {
+	if len(shares) != s.NumApps() {
+		return errors.New("sim: share vector length mismatch")
+	}
+	stf, err := memctrl.NewStartTimeFair(shares)
+	if err != nil {
+		return err
+	}
+	return s.ctrl.SetScheduler(stf)
+}

@@ -1,0 +1,288 @@
+// Package sim assembles the full simulated CMP: N out-of-order cores, each
+// with private L1/L2 caches and a synthetic workload generator, sharing one
+// memory controller and DRAM device. It is the stand-in for the paper's
+// GEM5 + DRAMSim2 testbed and follows the same methodology: functional
+// warmup, an APC_alone profiling phase, then a timed measurement window.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/cache"
+	"bwpart/internal/cpu"
+	"bwpart/internal/dram"
+	"bwpart/internal/memctrl"
+	"bwpart/internal/workload"
+)
+
+// Config describes a full system.
+type Config struct {
+	DRAM dram.Config
+	L1   cache.Config
+	L2   cache.Config
+	// Core supplies Width and ROBSize; BaseIPC and MaxOutstandingLoads are
+	// overridden per application from its workload profile.
+	Core cpu.Config
+	// QueueCap bounds the memory controller queue (0 = unbounded; per-app
+	// L2 MSHRs already bound outstanding traffic).
+	QueueCap int
+	// SharedL2 switches the topology from private L2s to one way-partitioned
+	// shared L2 (the paper's footnote-1 CMP variant). L2WayQuota gives each
+	// app's way allocation; nil splits the ways evenly. With a shared L2 the
+	// Config.L2 size describes the single shared cache.
+	SharedL2   bool
+	L2WayQuota []int
+	// L2PrefetchDepth enables next-line prefetching in the private L2s
+	// (ignored with SharedL2). Prefetching converts latency into extra
+	// bandwidth demand — useful for studying partitioning under pressure.
+	L2PrefetchDepth int
+	// WarmupInstructions is the per-app functional fast-forward before any
+	// timed phase (the paper uses 500M in atomic mode; scaled down here).
+	WarmupInstructions int64
+	Seed               int64
+}
+
+// DefaultConfig returns the paper's baseline system (Table II): four-core
+// class CMP parameters with DDR2-400.
+func DefaultConfig() Config {
+	return Config{
+		DRAM:               dram.DDR2_400(),
+		L1:                 cache.L1D(),
+		L2:                 cache.L2(),
+		Core:               cpu.DefaultConfig(),
+		QueueCap:           0,
+		WarmupInstructions: 200_000,
+		Seed:               1,
+	}
+}
+
+// System is one assembled CMP running a fixed set of applications.
+type System struct {
+	cfg      Config
+	specs    []AppSpec
+	dev      *dram.Device
+	ctrl     *memctrl.Controller
+	l1s      []*cache.Cache
+	l2s      []*cache.Cache     // private-L2 topology (nil entries when shared)
+	sharedL2 *cache.SharedCache // shared-L2 topology (nil when private)
+	cores    []*cpu.Core
+	now      int64
+	// statsStart marks the cycle ResetStats was last called, for APC rates.
+	statsStart int64
+	// busBusyAtReset snapshots cumulative bus-busy cycles at ResetStats so
+	// utilization is computed over the measurement window only.
+	busBusyAtReset int64
+	// devStatsAtReset snapshots cumulative device counters at ResetStats
+	// for windowed energy estimation.
+	devStatsAtReset dram.Stats
+}
+
+// New builds a system running one synthetic benchmark per core, with the
+// FCFS (No_partitioning) scheduler; callers select other policies via
+// SetScheduler or the helpers below. It is a convenience wrapper over
+// NewFromSpecs.
+func New(cfg Config, profs []workload.Profile) (*System, error) {
+	if len(profs) == 0 {
+		return nil, errors.New("sim: no applications")
+	}
+	specs := make([]AppSpec, len(profs))
+	for i, p := range profs {
+		gen, err := workload.NewGenerator(p, i, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("sim: app %d generator: %w", i, err)
+		}
+		coreCfg := cfg.Core
+		coreCfg.BaseIPC = p.BaseIPC
+		coreCfg.MaxOutstandingLoads = p.MLP
+		specs[i] = AppSpec{
+			Name:   p.Name,
+			Core:   coreCfg,
+			Stream: gen,
+			Warm:   gen.Warmup,
+		}
+	}
+	return NewFromSpecs(cfg, specs)
+}
+
+// NumApps returns the number of applications (= cores).
+func (s *System) NumApps() int { return len(s.cores) }
+
+// Controller exposes the memory controller (to install schedulers).
+func (s *System) Controller() *memctrl.Controller { return s.ctrl }
+
+// Device exposes the DRAM device.
+func (s *System) Device() *dram.Device { return s.dev }
+
+// Now returns the current cycle.
+func (s *System) Now() int64 { return s.now }
+
+// Warmup fast-forwards every application functionally, installing its
+// working set into its caches without advancing simulated time.
+func (s *System) Warmup() {
+	for i, spec := range s.specs {
+		if spec.Warm != nil {
+			spec.Warm(s.l1s[i], s.cfg.WarmupInstructions)
+		}
+	}
+}
+
+// Run advances the system by the given number of cycles.
+func (s *System) Run(cycles int64) {
+	end := s.now + cycles
+	if s.sharedL2 != nil {
+		for ; s.now < end; s.now++ {
+			s.ctrl.Tick(s.now)
+			s.sharedL2.Tick(s.now)
+			for i := range s.cores {
+				s.l1s[i].Tick(s.now)
+				s.cores[i].Tick(s.now)
+			}
+		}
+		return
+	}
+	for ; s.now < end; s.now++ {
+		s.ctrl.Tick(s.now)
+		for i := range s.cores {
+			s.l2s[i].Tick(s.now)
+			s.l1s[i].Tick(s.now)
+			s.cores[i].Tick(s.now)
+		}
+	}
+}
+
+// SharedL2 returns the shared L2 (nil in the private topology).
+func (s *System) SharedL2() *cache.SharedCache { return s.sharedL2 }
+
+// ResetStats zeroes every measurement counter; microarchitectural and
+// scheduler state persist, so a measurement window starts from warm state.
+func (s *System) ResetStats() {
+	s.ctrl.ResetStats()
+	for i := range s.cores {
+		s.cores[i].ResetStats()
+		s.l1s[i].ResetStats()
+		if s.l2s[i] != nil {
+			s.l2s[i].ResetStats()
+		}
+	}
+	if s.sharedL2 != nil {
+		s.sharedL2.ResetStats()
+	}
+	s.statsStart = s.now
+	st := s.dev.Stats()
+	s.busBusyAtReset = st.BusBusyCycles
+	s.devStatsAtReset = st
+}
+
+// AppResult is one application's measurement over the last window.
+type AppResult struct {
+	Name         string
+	Instructions int64
+	Cycles       int64
+	IPC          float64
+	// Off-chip traffic (reads + writebacks) as counted at the memory
+	// controller, and the derived rates.
+	OffChipAccesses    int64
+	APC                float64 // off-chip accesses per CPU cycle
+	APKC               float64 // accesses per kilo-cycle (Table III unit)
+	API                float64 // accesses per instruction
+	APKI               float64 // accesses per kilo-instruction (Table III unit)
+	InterferenceCycles int64
+	L2MissRate         float64
+}
+
+// Result is a whole-system measurement over the last window.
+type Result struct {
+	Apps           []AppResult
+	WindowCycles   int64
+	BusUtilization float64
+	TotalAPC       float64 // the model's B: total accesses served per cycle
+	// Energy is the DRAM energy over the window (DRAMSim2-style
+	// current-based estimate with default DDR2 parameters).
+	Energy dram.Energy
+	// EnergyPerBitPJ is the dynamic DRAM energy per transferred bit.
+	EnergyPerBitPJ float64
+}
+
+// Results snapshots the current window's measurements.
+func (s *System) Results() Result {
+	window := s.now - s.statsStart
+	res := Result{WindowCycles: window}
+	ctrlStats := s.ctrl.Stats()
+	var totalAccesses int64
+	for i := range s.cores {
+		cs := s.cores[i].Stats()
+		served := ctrlStats[i].Served()
+		totalAccesses += served
+		ar := AppResult{
+			Name:               s.specs[i].Name,
+			Instructions:       cs.Retired,
+			Cycles:             cs.Cycles,
+			IPC:                cs.IPC(),
+			OffChipAccesses:    served,
+			InterferenceCycles: ctrlStats[i].InterferenceCycles,
+		}
+		if cs.Cycles > 0 {
+			ar.APC = float64(served) / float64(cs.Cycles)
+			ar.APKC = ar.APC * 1000
+		}
+		if cs.Retired > 0 {
+			ar.API = float64(served) / float64(cs.Retired)
+			ar.APKI = ar.API * 1000
+		}
+		var l2 cache.Stats
+		if s.sharedL2 != nil {
+			l2 = s.sharedL2.StatsFor(i)
+		} else {
+			l2 = s.l2s[i].Stats()
+		}
+		if l2.Hits+l2.Misses > 0 {
+			ar.L2MissRate = float64(l2.Misses) / float64(l2.Hits+l2.Misses)
+		}
+		res.Apps = append(res.Apps, ar)
+	}
+	if window > 0 {
+		devNow := s.dev.Stats()
+		res.TotalAPC = float64(totalAccesses) / float64(window)
+		busy := devNow.BusBusyCycles - s.busBusyAtReset
+		res.BusUtilization = float64(busy) / float64(window*int64(s.cfg.DRAM.Channels))
+		delta := dram.Stats{
+			ServedReads:  devNow.ServedReads - s.devStatsAtReset.ServedReads,
+			ServedWrites: devNow.ServedWrites - s.devStatsAtReset.ServedWrites,
+			Activates:    devNow.Activates - s.devStatsAtReset.Activates,
+			RowHits:      devNow.RowHits - s.devStatsAtReset.RowHits,
+		}
+		if e, err := dram.EstimateEnergy(s.cfg.DRAM, dram.DefaultPowerConfig(), delta, window); err == nil {
+			res.Energy = e
+			res.EnergyPerBitPJ = dram.EnergyPerBitPJ(s.cfg.DRAM, e, delta)
+		}
+	}
+	return res
+}
+
+// IPCs returns the per-app IPC vector of the last window.
+func (r Result) IPCs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.IPC
+	}
+	return out
+}
+
+// APCs returns the per-app off-chip APC vector of the last window.
+func (r Result) APCs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.APC
+	}
+	return out
+}
+
+// APIs returns the per-app off-chip API vector of the last window.
+func (r Result) APIs() []float64 {
+	out := make([]float64, len(r.Apps))
+	for i, a := range r.Apps {
+		out[i] = a.API
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/cache"
+	"bwpart/internal/cpu"
+	"bwpart/internal/dram"
+	"bwpart/internal/mem"
+	"bwpart/internal/memctrl"
+	"bwpart/internal/workload"
+)
+
+// AppSpec describes one application for NewFromSpecs: a display name, full
+// core parameters, the instruction stream, and an optional functional
+// warmup routine. It generalizes the profile-based constructor to phased
+// or custom workloads.
+type AppSpec struct {
+	Name string
+	Core cpu.Config
+	// Stream feeds the core; if it implements cpu.DynamicStream the core
+	// follows its phase-dependent parameters.
+	Stream cpu.Stream
+	// Warm, if non-nil, performs functional cache warmup for this app
+	// (receives the L1 and the instruction budget).
+	Warm func(t workload.Toucher, n int64)
+}
+
+// NewFromSpecs assembles a system from explicit application specs. It is
+// the generalized constructor behind New; use it for phased workloads or
+// hand-built streams.
+func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("sim: no applications")
+	}
+	dev, err := dram.NewDevice(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := memctrl.New(dev, len(specs), cfg.QueueCap, memctrl.NewFCFS())
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, dev: dev, ctrl: ctrl}
+	if cfg.SharedL2 {
+		quota := cfg.L2WayQuota
+		if quota == nil {
+			quota = make([]int, len(specs))
+			per := cfg.L2.Ways / len(specs)
+			if per < 1 {
+				per = 1
+			}
+			for i := range quota {
+				quota[i] = per
+			}
+		}
+		// A shared L2 serves all cores: scale the miss registers so each
+		// application keeps the per-core MSHR budget of the private design
+		// (per-app caps inside SharedCache enforce the fair split).
+		l2cfg := cfg.L2
+		l2cfg.MSHRs *= len(specs)
+		shared, err := cache.NewShared(l2cfg, len(specs), quota, ctrl)
+		if err != nil {
+			return nil, fmt.Errorf("sim: shared L2: %w", err)
+		}
+		s.sharedL2 = shared
+	}
+	for i, spec := range specs {
+		if spec.Stream == nil {
+			return nil, fmt.Errorf("sim: app %d (%s) has no stream", i, spec.Name)
+		}
+		var l2 *cache.Cache
+		var l1Lower mem.Port
+		if cfg.SharedL2 {
+			l1Lower = s.sharedL2.PortFor(i)
+		} else {
+			l2cfg := cfg.L2
+			l2cfg.PrefetchDepth = cfg.L2PrefetchDepth
+			var err error
+			l2, err = cache.New(l2cfg, ctrl)
+			if err != nil {
+				return nil, fmt.Errorf("sim: app %d L2: %w", i, err)
+			}
+			l1Lower = l2
+		}
+		l1, err := cache.New(cfg.L1, l1Lower)
+		if err != nil {
+			return nil, fmt.Errorf("sim: app %d L1: %w", i, err)
+		}
+		core, err := cpu.New(spec.Core, i, l1, spec.Stream)
+		if err != nil {
+			return nil, fmt.Errorf("sim: app %d core: %w", i, err)
+		}
+		s.l2s = append(s.l2s, l2)
+		s.l1s = append(s.l1s, l1)
+		s.cores = append(s.cores, core)
+		s.specs = append(s.specs, spec)
+	}
+	return s, nil
+}

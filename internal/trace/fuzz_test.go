@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReaderRobustness feeds arbitrary bytes to the reader: it must either
+// decode records or return an error, never panic or loop.
+func FuzzReaderRobustness(f *testing.F) {
+	// Seed with a valid trace and some corruptions of it.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Cycle: 10, App: 1, Addr: 0x40})
+	w.Append(Record{Cycle: 20, App: 2, Addr: 0x80, Write: true})
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("bwt1"))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 10_000; i++ { // bound iterations defensively
+			_, err := r.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) || err.Error() != "" {
+					return
+				}
+				t.Fatalf("empty error: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode/decode identity over fuzz-chosen records.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(0), uint16(0), uint64(0), false)
+	f.Add(int64(1<<40), uint16(65535), uint64(1)<<63, true)
+	f.Fuzz(func(t *testing.T, cycle int64, app uint16, addr uint64, write bool) {
+		if cycle < 0 {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		rec := Record{Cycle: cycle, App: int(app), Addr: addr, Write: write}
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != rec {
+			t.Fatalf("round trip: %+v != %+v", got, rec)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package trace records and analyzes off-chip memory access traces. The
+// memory controller can stream every issued access into a Writer; the
+// binary format is compact (varint delta encoding) and self-describing
+// enough for offline analysis: per-app bandwidth shares, read/write mix,
+// and bank touch distributions — the raw material behind APC measurements.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record is one off-chip access.
+type Record struct {
+	Cycle int64
+	App   int
+	Addr  uint64
+	Write bool
+}
+
+// magic identifies the trace format.
+var magic = [4]byte{'b', 'w', 't', '1'}
+
+// Writer streams records to an io.Writer with delta-varint encoding.
+// Records must be appended in non-decreasing cycle order.
+type Writer struct {
+	w         *bufio.Writer
+	lastCycle int64
+	started   bool
+	count     int64
+	err       error
+}
+
+// NewWriter wraps w. The header is written on the first Append.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Append adds one record.
+func (t *Writer) Append(r Record) error {
+	if t.err != nil {
+		return t.err
+	}
+	if r.Cycle < t.lastCycle {
+		return fmt.Errorf("trace: cycle went backwards (%d after %d)", r.Cycle, t.lastCycle)
+	}
+	if r.App < 0 || r.App > 0xFFFF {
+		return fmt.Errorf("trace: app %d out of range", r.App)
+	}
+	if !t.started {
+		if _, err := t.w.Write(magic[:]); err != nil {
+			t.err = err
+			return err
+		}
+		t.started = true
+	}
+	var buf [binary.MaxVarintLen64 * 3]byte
+	n := binary.PutUvarint(buf[:], uint64(r.Cycle-t.lastCycle))
+	flags := uint64(r.App) << 1
+	if r.Write {
+		flags |= 1
+	}
+	n += binary.PutUvarint(buf[n:], flags)
+	n += binary.PutUvarint(buf[n:], r.Addr)
+	if _, err := t.w.Write(buf[:n]); err != nil {
+		t.err = err
+		return err
+	}
+	t.lastCycle = r.Cycle
+	t.count++
+	return nil
+}
+
+// Count returns how many records were appended.
+func (t *Writer) Count() int64 { return t.count }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// Reader decodes a trace stream.
+type Reader struct {
+	r         *bufio.Reader
+	lastCycle int64
+	started   bool
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next record or io.EOF.
+func (t *Reader) Next() (Record, error) {
+	if !t.started {
+		var hdr [4]byte
+		if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return Record{}, errors.New("trace: truncated header")
+			}
+			return Record{}, err
+		}
+		if hdr != magic {
+			return Record{}, errors.New("trace: bad magic")
+		}
+		t.started = true
+	}
+	delta, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("trace: %w", err)
+	}
+	flags, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	addr, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: truncated record: %w", err)
+	}
+	t.lastCycle += int64(delta)
+	return Record{
+		Cycle: t.lastCycle,
+		App:   int(flags >> 1),
+		Addr:  addr,
+		Write: flags&1 == 1,
+	}, nil
+}
+
+// AppSummary aggregates one application's trace statistics.
+type AppSummary struct {
+	Accesses int64
+	Writes   int64
+	APC      float64 // accesses per cycle over the trace span
+}
+
+// Summary aggregates a whole trace.
+type Summary struct {
+	Records    int64
+	SpanCycles int64
+	FirstCycle int64
+	LastCycle  int64
+	Apps       map[int]*AppSummary
+	TotalAPC   float64
+}
+
+// Summarize reads a whole trace and computes per-app statistics.
+func Summarize(r io.Reader) (*Summary, error) {
+	tr := NewReader(r)
+	s := &Summary{Apps: make(map[int]*AppSummary)}
+	first := true
+	for {
+		rec, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			s.FirstCycle = rec.Cycle
+			first = false
+		}
+		s.LastCycle = rec.Cycle
+		s.Records++
+		app := s.Apps[rec.App]
+		if app == nil {
+			app = &AppSummary{}
+			s.Apps[rec.App] = app
+		}
+		app.Accesses++
+		if rec.Write {
+			app.Writes++
+		}
+	}
+	s.SpanCycles = s.LastCycle - s.FirstCycle + 1
+	if s.Records > 0 && s.SpanCycles > 0 {
+		s.TotalAPC = float64(s.Records) / float64(s.SpanCycles)
+		for _, a := range s.Apps {
+			a.APC = float64(a.Accesses) / float64(s.SpanCycles)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := []Record{
+		{Cycle: 10, App: 0, Addr: 0x40, Write: false},
+		{Cycle: 10, App: 1, Addr: 0x1000, Write: true},
+		{Cycle: 250, App: 3, Addr: 1 << 40, Write: false},
+	}
+	for _, r := range records {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var recs []Record
+		cycle := int64(0)
+		for i := 0; i < n; i++ {
+			cycle += int64(rng.Intn(1000))
+			rec := Record{
+				Cycle: cycle,
+				App:   rng.Intn(16),
+				Addr:  rng.Uint64() >> uint(rng.Intn(32)),
+				Write: rng.Intn(2) == 0,
+			}
+			recs = append(recs, rec)
+			if err := w.Append(rec); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		for _, want := range recs {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterRejectsBackwardsCycles(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Record{Cycle: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Cycle: 99}); err == nil {
+		t.Fatal("backwards cycle accepted")
+	}
+}
+
+func TestWriterRejectsBadApp(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Append(Record{App: -1}); err == nil {
+		t.Fatal("negative app accepted")
+	}
+	if err := w.Append(Record{App: 1 << 17}); err == nil {
+		t.Fatal("huge app accepted")
+	}
+}
+
+func TestReaderRejectsBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewBufferString("nope-not-a-trace"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Cycle: 5, App: 1, Addr: 123})
+	w.Flush()
+	full := buf.Bytes()
+	// Chop mid-record.
+	r := NewReader(bytes.NewReader(full[:len(full)-1]))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	// Chop mid-header.
+	r = NewReader(bytes.NewReader(full[:2]))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestEmptyTraceEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty reader: %v", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Cycle: 0, App: 0, Addr: 64})
+	w.Append(Record{Cycle: 50, App: 0, Addr: 128, Write: true})
+	w.Append(Record{Cycle: 99, App: 1, Addr: 192})
+	w.Flush()
+	s, err := Summarize(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 3 || s.SpanCycles != 100 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.Apps[0].Accesses != 2 || s.Apps[0].Writes != 1 || s.Apps[1].Accesses != 1 {
+		t.Fatalf("app summaries: %+v %+v", s.Apps[0], s.Apps[1])
+	}
+	if s.TotalAPC != 0.03 {
+		t.Fatalf("total APC = %v", s.TotalAPC)
+	}
+	if s.Apps[0].APC != 0.02 {
+		t.Fatalf("app0 APC = %v", s.Apps[0].APC)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s, err := Summarize(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Records != 0 || s.TotalAPC != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}

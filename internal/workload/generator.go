@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"bwpart/internal/cpu"
+)
+
+// Address-space layout per application. Each app gets a disjoint 1 TiB
+// region so co-scheduled generators never alias in the private caches or in
+// DRAM rows.
+const (
+	appRegionShift = 40
+	hotBase        = 0x0000_0000
+	hotBytes       = 8 << 10 // fits L1 comfortably
+	midBase        = 0x0100_0000
+	midBytes       = 96 << 10 // fits L2, misses L1 often
+	seqBase        = 0x4000_0000
+	seqBytes       = 2 << 30 // long streaming region
+	randBase       = 0x1_0000_0000
+	randBytes      = 512 << 20 // cold random region (never cache-resident)
+	lineBytes      = 64
+	// midShare is the fraction of warm (cache-hitting) references that go
+	// to the L2-resident region rather than the L1-resident one.
+	midShare = 0.15
+)
+
+// Generator produces the instruction stream for one application instance.
+// It implements cpu.Stream deterministically from its seed.
+type Generator struct {
+	p    Profile
+	rng  *rand.Rand
+	base uint64 // per-app address-space base
+
+	gap      int // non-memory instructions remaining before the next ref
+	memProb  float64
+	coldProb float64
+
+	seqPtr uint64
+}
+
+// NewGenerator builds a deterministic generator for profile p, placed in
+// application slot app (0-based core index), seeded by seed.
+func NewGenerator(p Profile, app int, seed int64) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		p:        p,
+		rng:      rand.New(rand.NewSource(seed ^ int64(app+1)*0x5851F42D4C957F2D ^ hashName(p.Name))),
+		base:     uint64(app) << appRegionShift,
+		memProb:  p.MemRefsPerKI / 1000,
+		coldProb: p.ColdPerKI / p.MemRefsPerKI,
+	}
+	g.gap = g.drawGap()
+	return g, nil
+}
+
+// hashName folds a benchmark name into seed material so co-scheduled copies
+// of different benchmarks never share a random stream.
+func hashName(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// drawGap samples the count of non-memory instructions before the next
+// memory reference (geometric with mean 1/memProb - 1).
+func (g *Generator) drawGap() int {
+	if g.memProb >= 1 {
+		return 0
+	}
+	u := g.rng.Float64()
+	// Geometric via inversion; mean (1-p)/p.
+	gap := int(math.Log(1-u) / math.Log(1-g.memProb))
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// Next implements cpu.Stream.
+func (g *Generator) Next() cpu.Instr {
+	if g.gap > 0 {
+		g.gap--
+		return cpu.Instr{}
+	}
+	g.gap = g.drawGap()
+	if g.rng.Float64() < g.coldProb {
+		// LLC-bound reference: flagged Cold so the core's MLP bound
+		// (dependence-limited miss parallelism) applies to it.
+		return cpu.Instr{Mem: true, Cold: true, Write: g.isWrite(), Addr: g.coldAddr()}
+	}
+	return cpu.Instr{Mem: true, Write: g.isWrite(), Addr: g.warmAddr()}
+}
+
+func (g *Generator) isWrite() bool {
+	return g.rng.Float64() < g.p.WriteFrac
+}
+
+// coldAddr produces an address guaranteed to miss the private caches:
+// either the next line of a long sequential stream or a random line in a
+// region far larger than the L2.
+func (g *Generator) coldAddr() uint64 {
+	if g.rng.Float64() < g.p.SeqFrac {
+		a := g.base + seqBase + g.seqPtr
+		g.seqPtr += lineBytes
+		if g.seqPtr >= seqBytes {
+			g.seqPtr = 0
+		}
+		return a
+	}
+	line := uint64(g.rng.Int63n(randBytes / lineBytes))
+	return g.base + randBase + line*lineBytes
+}
+
+// warmAddr produces a cache-resident address: mostly the small L1-resident
+// hot set, sometimes the larger L2-resident set.
+func (g *Generator) warmAddr() uint64 {
+	if g.rng.Float64() < midShare {
+		line := uint64(g.rng.Int63n(midBytes / lineBytes))
+		return g.base + midBase + line*lineBytes
+	}
+	line := uint64(g.rng.Int63n(hotBytes / lineBytes))
+	return g.base + hotBase + line*lineBytes
+}
+
+// Toucher receives functional warmup traffic (caches implement it).
+type Toucher interface {
+	Touch(addr uint64, write bool)
+}
+
+// Warmup fast-forwards n instructions functionally, installing lines into
+// the given cache (typically the core's L1, which propagates to L2). This
+// mirrors the paper's atomic-mode fast-forward before timed simulation.
+func (g *Generator) Warmup(t Toucher, n int64) {
+	for i := int64(0); i < n; i++ {
+		in := g.Next()
+		if in.Mem {
+			t.Touch(in.Addr, in.Write)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import "testing"
+
+func TestTable4MixesResolve(t *testing.T) {
+	mixes := AllMixes()
+	if len(mixes) != 14 {
+		t.Fatalf("expected 14 Table IV mixes, got %d", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Benchmarks) != 4 {
+			t.Errorf("%s: %d benchmarks, want 4", m.Name, len(m.Benchmarks))
+		}
+		if _, err := m.Profiles(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestReferenceRSDMatchesPaper(t *testing.T) {
+	// The paper computes heterogeneity as the RSD of APC_alone values. Our
+	// reference RSD uses Table III APKCs, so it should land close to the
+	// published Table IV numbers (the paper's own APCs were measured).
+	for _, m := range AllMixes() {
+		rsd, err := m.ReferenceRSD()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		diff := rsd - m.PaperRSD
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 3.0 {
+			t.Errorf("%s: reference RSD %.2f vs paper %.2f", m.Name, rsd, m.PaperRSD)
+		}
+	}
+}
+
+func TestHeterogeneityThreshold(t *testing.T) {
+	for _, m := range HomoMixes() {
+		if m.Heterogeneous() {
+			t.Errorf("%s classified heterogeneous", m.Name)
+		}
+	}
+	for _, m := range HeteroMixes() {
+		if !m.Heterogeneous() {
+			t.Errorf("%s classified homogeneous", m.Name)
+		}
+	}
+}
+
+func TestQoSMixesContainHmmer(t *testing.T) {
+	for _, m := range QoSMixes() {
+		found := false
+		for _, b := range m.Benchmarks {
+			if b == "hmmer" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s lacks hmmer, the QoS-guaranteed app", m.Name)
+		}
+		if _, err := m.Profiles(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMotivationMixIsFigure1Workload(t *testing.T) {
+	m := MotivationMix()
+	want := []string{"libquantum", "milc", "gromacs", "gobmk"}
+	if len(m.Benchmarks) != len(want) {
+		t.Fatalf("benchmarks = %v", m.Benchmarks)
+	}
+	for i, b := range want {
+		if m.Benchmarks[i] != b {
+			t.Fatalf("benchmarks = %v, want %v", m.Benchmarks, want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := HeteroMixes()[0]
+	s := m.Scale(4)
+	if len(s.Benchmarks) != 16 {
+		t.Fatalf("scaled mix has %d benchmarks, want 16", len(s.Benchmarks))
+	}
+	for i, b := range s.Benchmarks {
+		if b != m.Benchmarks[i%4] {
+			t.Fatalf("scaled mix order broken at %d", i)
+		}
+	}
+	if s.Name == m.Name {
+		t.Fatal("scaled mix should have a distinct name")
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"homo-3", "hetero-7", "mix-1", "motivation"} {
+		if _, err := MixByName(name); err != nil {
+			t.Errorf("MixByName(%s): %v", name, err)
+		}
+	}
+	if _, err := MixByName("bogus"); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}
+
+func TestMixesAreIndependentCopies(t *testing.T) {
+	a := HeteroMixes()
+	a[0].Benchmarks[0] = "tampered"
+	b := HeteroMixes()
+	if b[0].Benchmarks[0] == "tampered" {
+		t.Fatal("HeteroMixes returns aliased slices")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"bwpart/internal/cpu"
+)
+
+// Phase is one behavioral phase of a phased workload: a profile and how
+// many instructions it lasts.
+type Phase struct {
+	Profile      Profile
+	Instructions int64
+}
+
+// PhasedGenerator cycles through behavioral phases, emitting each phase's
+// instruction stream for its duration and then switching to the next
+// (wrapping around). It models the program phase changes that the paper's
+// periodic APC_alone re-profiling exists to track (Sec. IV-C: "when an
+// application's behavior changes, its APC_alone will be updated").
+type PhasedGenerator struct {
+	phases    []Phase
+	gens      []*Generator
+	current   int
+	remaining int64
+	switches  int64
+}
+
+// NewPhasedGenerator builds a phased generator in application slot app. All
+// phases share the app's address space (same slot/seed), so the caches stay
+// warm across phase switches exactly as they would for a real program
+// changing behavior.
+func NewPhasedGenerator(phases []Phase, app int, seed int64) (*PhasedGenerator, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("workload: need at least one phase")
+	}
+	g := &PhasedGenerator{phases: append([]Phase(nil), phases...)}
+	for i, ph := range phases {
+		if ph.Instructions <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has non-positive length", i)
+		}
+		gen, err := NewGenerator(ph.Profile, app, seed+int64(i))
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		g.gens = append(g.gens, gen)
+	}
+	g.remaining = phases[0].Instructions
+	return g, nil
+}
+
+// Next implements cpu.Stream.
+func (g *PhasedGenerator) Next() cpu.Instr {
+	in := g.gens[g.current].Next()
+	g.remaining--
+	if g.remaining <= 0 {
+		g.current = (g.current + 1) % len(g.phases)
+		g.remaining = g.phases[g.current].Instructions
+		g.switches++
+	}
+	return in
+}
+
+// CurrentPhase returns the index of the active phase.
+func (g *PhasedGenerator) CurrentPhase() int { return g.current }
+
+// CoreParams implements cpu.DynamicStream: the core's ILP ceiling and MLP
+// bound follow the active phase.
+func (g *PhasedGenerator) CoreParams() (float64, int) {
+	p := g.phases[g.current].Profile
+	return p.BaseIPC, p.MLP
+}
+
+// Switches returns how many phase transitions have occurred.
+func (g *PhasedGenerator) Switches() int64 { return g.switches }
+
+// Warmup fast-forwards n instructions functionally (phase switching
+// included), installing lines into the given cache.
+func (g *PhasedGenerator) Warmup(t Toucher, n int64) {
+	for i := int64(0); i < n; i++ {
+		in := g.Next()
+		if in.Mem {
+			t.Touch(in.Addr, in.Write)
+		}
+	}
+}
+
+// TwoPhase is a convenience constructor for an A/B phased workload built
+// from two named benchmarks with equal phase lengths.
+func TwoPhase(benchA, benchB string, instrPerPhase int64, app int, seed int64) (*PhasedGenerator, error) {
+	pa, err := ByName(benchA)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := ByName(benchB)
+	if err != nil {
+		return nil, err
+	}
+	return NewPhasedGenerator([]Phase{
+		{Profile: pa, Instructions: instrPerPhase},
+		{Profile: pb, Instructions: instrPerPhase},
+	}, app, seed)
+}
