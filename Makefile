@@ -1,0 +1,22 @@
+# Development targets. `make check` is the PR gate: vet, build, the full
+# test suite, and a race-detector pass over the concurrent packages (the
+# experiment engine, its observability collector, and the memory
+# controller).
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exper/... ./internal/obs/... ./internal/memctrl/...

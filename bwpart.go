@@ -35,6 +35,7 @@ import (
 	"bwpart/internal/exper"
 	"bwpart/internal/memctrl"
 	"bwpart/internal/metrics"
+	"bwpart/internal/obs"
 	"bwpart/internal/sim"
 	"bwpart/internal/trace"
 	"bwpart/internal/workload"
@@ -104,7 +105,29 @@ type (
 	PhaseStudyResult  = exper.PhaseStudyResult
 	// MixRun is one (mix, scheme) simulation measurement.
 	MixRun = exper.MixRun
+	// GridCell is one (mix, scheme) point of a sweep grid (see Runner.RunGrid).
+	GridCell = exper.GridCell
 )
+
+// Run-level observability (the experiment engine's counters and timers).
+type (
+	// RunObserver collects job counters, per-stage wall time and
+	// memory-controller queue-depth statistics during experiment runs.
+	// Install one via ExperimentConfig.Obs.
+	RunObserver = obs.Collector
+	// RunSnapshot is a point-in-time, JSON-serializable copy of a
+	// RunObserver's statistics.
+	RunSnapshot = obs.Snapshot
+	// RunTicker renders periodic progress lines (see RunObserver.StartTicker).
+	RunTicker = obs.Ticker
+)
+
+// NewRunObserver builds an observer whose elapsed clock starts now.
+func NewRunObserver() *RunObserver { return obs.NewCollector() }
+
+// ParallelismEnv is the environment variable that overrides the experiment
+// engine's default worker count (ExperimentConfig.Parallelism wins).
+const ParallelismEnv = exper.ParallelismEnv
 
 // Objective constants (the paper's four optimization targets).
 const (

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +26,9 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced simulation windows")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	outPath := flag.String("o", "", "also write the report to this file")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = $BWPART_PARALLELISM or GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "render a progress ticker on stderr")
+	statsJSON := flag.String("stats-json", "", "write run statistics (job counters, stage timings, queue depths) to this JSON file")
 	flag.Parse()
 
 	out := io.Writer(os.Stdout)
@@ -42,6 +46,26 @@ func main() {
 		cfg = bwpart.QuickExperiments()
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	col := bwpart.NewRunObserver()
+	cfg.Obs = col
+	if *progress {
+		ticker := col.StartTicker(os.Stderr, 500*time.Millisecond)
+		defer ticker.Stop()
+	}
+	writeStats := func() {
+		if *statsJSON == "" {
+			return
+		}
+		raw, err := json.MarshalIndent(col.Snapshot(), "", "  ")
+		if err != nil {
+			log.Fatalf("encoding stats: %v", err)
+		}
+		if err := os.WriteFile(*statsJSON, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("writing stats: %v", err)
+		}
+	}
+	defer writeStats()
 	runner, err := bwpart.NewRunner(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -51,6 +75,7 @@ func main() {
 		start := time.Now()
 		fmt.Fprintf(out, "### %s\n", name)
 		if err := fn(); err != nil {
+			writeStats()
 			log.Fatalf("%s: %v", name, err)
 		}
 		fmt.Fprintf(out, "(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))

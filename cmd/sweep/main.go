@@ -1,20 +1,27 @@
 // Command sweep runs a parameter grid — workload mixes x schemes x
 // bandwidth scales — and emits one CSV row per run with the four system
-// objectives, for plotting or regression tracking.
+// objectives, for plotting or regression tracking. Each scale's grid is
+// fanned out across the experiment engine's worker pool; rows are emitted
+// in deterministic grid order regardless of scheduling.
 //
 // Usage:
 //
 //	sweep -mixes hetero-1,hetero-5 -schemes equal,square-root -scales 1,2 > results.csv
+//	sweep -mixes "hetero-1, hetero-2" -schemes equal,square-root \
+//	      -progress -stats-json stats.json > results.csv
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"bwpart"
 )
@@ -29,17 +36,35 @@ func main() {
 	scalesFlag := flag.String("scales", "1", "comma-separated bandwidth scale factors")
 	quick := flag.Bool("quick", true, "use reduced simulation windows")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = $BWPART_PARALLELISM or GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "render a progress ticker on stderr")
+	statsJSON := flag.String("stats-json", "", "write run statistics (job counters, stage timings, queue depths) to this JSON file")
 	flag.Parse()
 
 	scales, err := parseFloats(*scalesFlag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mixes := strings.Split(*mixesFlag, ",")
-	schemes := strings.Split(*schemesFlag, ",")
+	mixNames := splitList(*mixesFlag)
+	schemes := splitList(*schemesFlag)
+	if len(mixNames) == 0 || len(schemes) == 0 {
+		log.Fatal("need at least one mix and one scheme")
+	}
+	mixes := make([]bwpart.Mix, len(mixNames))
+	for i, name := range mixNames {
+		mixes[i], err = bwpart.MixByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	col := bwpart.NewRunObserver()
+	if *progress {
+		ticker := col.StartTicker(os.Stderr, 500*time.Millisecond)
+		defer ticker.Stop()
+	}
 
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
 	header := []string{"scale", "gbs", "mix", "scheme",
 		"hsp", "min_fairness", "wsp", "ipc_sum", "bus_util", "total_apc"}
 	if err := w.Write(header); err != nil {
@@ -52,49 +77,78 @@ func main() {
 			cfg = bwpart.QuickExperiments()
 		}
 		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
+		cfg.Obs = col
 		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
 		runner, err := bwpart.NewRunner(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		gbs := cfg.Sim.DRAM.PeakBandwidthGBs()
-		for _, mixName := range mixes {
-			mix, err := bwpart.MixByName(strings.TrimSpace(mixName))
-			if err != nil {
+		runs, err := runner.RunGrid(context.Background(), mixes, schemes)
+		if err != nil {
+			writeStats(*statsJSON, col)
+			log.Fatal(err)
+		}
+		for _, run := range runs {
+			row := []string{
+				fmt.Sprintf("%g", scale),
+				fmt.Sprintf("%.1f", gbs),
+				run.Mix.Name,
+				run.Scheme,
+				fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveHsp]),
+				fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveMinFairness]),
+				fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveWsp]),
+				fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveIPCSum]),
+				fmt.Sprintf("%.3f", run.Result.BusUtilization),
+				fmt.Sprintf("%.6f", run.Result.TotalAPC),
+			}
+			if err := w.Write(row); err != nil {
 				log.Fatal(err)
 			}
-			for _, scheme := range schemes {
-				scheme = strings.TrimSpace(scheme)
-				run, err := runner.RunMix(mix, scheme)
-				if err != nil {
-					log.Fatalf("%s/%s: %v", mix.Name, scheme, err)
-				}
-				row := []string{
-					fmt.Sprintf("%g", scale),
-					fmt.Sprintf("%.1f", gbs),
-					mix.Name,
-					scheme,
-					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveHsp]),
-					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveMinFairness]),
-					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveWsp]),
-					fmt.Sprintf("%.4f", run.Values[bwpart.ObjectiveIPCSum]),
-					fmt.Sprintf("%.3f", run.Result.BusUtilization),
-					fmt.Sprintf("%.6f", run.Result.TotalAPC),
-				}
-				if err := w.Write(row); err != nil {
-					log.Fatal(err)
-				}
-				w.Flush()
-			}
 		}
+		w.Flush()
+	}
+	// A deferred Flush would silently drop write errors (e.g. a full pipe
+	// truncating output while still exiting 0): flush and check explicitly.
+	w.Flush()
+	if err := w.Error(); err != nil {
+		log.Fatalf("writing CSV: %v", err)
+	}
+	writeStats(*statsJSON, col)
+}
+
+// writeStats marshals the collector snapshot to path (no-op when empty).
+func writeStats(path string, col *bwpart.RunObserver) {
+	if path == "" {
+		return
+	}
+	raw, err := json.MarshalIndent(col.Snapshot(), "", "  ")
+	if err != nil {
+		log.Fatalf("encoding stats: %v", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		log.Fatalf("writing stats: %v", err)
 	}
 }
 
+// splitList splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries, so "a, b," parses as ["a", "b"].
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func parseFloats(s string) ([]float64, error) {
-	parts := strings.Split(s, ",")
+	parts := splitList(s)
 	out := make([]float64, 0, len(parts))
 	for _, p := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad scale %q: %w", p, err)
 		}

@@ -287,3 +287,49 @@ func TestOptimalForMapping(t *testing.T) {
 		t.Error("unknown objective accepted")
 	}
 }
+
+// TestPriorityAllocateUlpResidue probes the greedy fill's floating-point
+// residue handling: with B within one ulp of total demand, the sequential
+// `remaining -= grant` subtractions must neither produce a negative grant
+// nor let the allocation's sum stray from min(B, sum APC_alone) by more
+// than accumulated rounding.
+func TestPriorityAllocateUlpResidue(t *testing.T) {
+	apc := []float64{0.123456789, 0.0789, 0.33333333333, 0.0101, 0.27}
+	api := []float64{0.01, 0.02, 0.015, 0.05, 0.03}
+	total := mathx.Sum(apc)
+	budgets := []float64{
+		total,
+		math.Nextafter(total, 0),           // one ulp under demand
+		math.Nextafter(total, math.Inf(1)), // one ulp over demand
+		math.Nextafter(math.Nextafter(total, 0), 0),
+	}
+	for _, s := range []Scheme{PriorityAPC(), PriorityAPI()} {
+		for _, b := range budgets {
+			x, err := s.Allocate(apc, api, b)
+			if err != nil {
+				t.Fatalf("%s(b=%v): %v", s.Name(), b, err)
+			}
+			var sum float64
+			for i := range x {
+				if x[i] < 0 {
+					t.Fatalf("%s(b=%v): negative grant x[%d] = %v", s.Name(), b, i, x[i])
+				}
+				if x[i] > apc[i] {
+					t.Fatalf("%s(b=%v): grant x[%d] = %v exceeds demand %v", s.Name(), b, i, x[i], apc[i])
+				}
+				sum += x[i]
+			}
+			want := math.Min(b, total)
+			// Allow a few ulps: the grants telescope through len(apc)
+			// sequential subtractions and are re-summed in index order.
+			tol := 8 * ulp(want)
+			if math.Abs(sum-want) > tol {
+				t.Fatalf("%s(b=%v): allocation sums to %v, want %v (|diff| %g > tol %g)",
+					s.Name(), b, sum, want, math.Abs(sum-want), tol)
+			}
+		}
+	}
+}
+
+// ulp returns the distance from v to the next float64 above it.
+func ulp(v float64) float64 { return math.Nextafter(v, math.Inf(1)) - v }

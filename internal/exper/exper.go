@@ -11,6 +11,7 @@ import (
 
 	"bwpart/internal/core"
 	"bwpart/internal/metrics"
+	"bwpart/internal/obs"
 	"bwpart/internal/sim"
 	"bwpart/internal/workload"
 )
@@ -38,6 +39,13 @@ type Config struct {
 	// Tracer, when set, observes every off-chip access issued during
 	// shared runs (not during standalone profiling): for trace recording.
 	Tracer func(cycle int64, app int, addr uint64, write bool)
+	// Parallelism caps concurrent simulations in fan-out experiments
+	// (0 = $BWPART_PARALLELISM if set, else GOMAXPROCS).
+	Parallelism int
+	// Obs, when set, collects job counters, per-stage wall time, and
+	// memory-controller queue-depth statistics for every run. Nil disables
+	// observability at negligible cost.
+	Obs *obs.Collector
 }
 
 // Default returns the full-fidelity configuration used for the recorded
@@ -111,12 +119,20 @@ func (r *Runner) Alone(name string) (sim.AloneProfile, error) {
 	if err != nil {
 		return sim.AloneProfile{}, err
 	}
+	stop := r.cfg.Obs.StageStart(obs.StageProfile)
 	ap, err := profileAloneFor(r.cfg, p)
+	stop()
 	if err != nil {
 		return sim.AloneProfile{}, err
 	}
 	r.alone[name] = ap
 	return ap, nil
+}
+
+// cached reports whether a benchmark's standalone profile is already known.
+func (r *Runner) cached(name string) bool {
+	_, ok := r.alone[name]
+	return ok
 }
 
 // aloneVectors resolves the profile vectors for a mix.
@@ -133,6 +149,30 @@ func (r *Runner) aloneVectors(mix workload.Mix) (apcAlone, api, ipcAlone []float
 		apcAlone[i], api[i], ipcAlone[i] = ap.APCAlone, ap.API, ap.IPCAlone
 	}
 	return apcAlone, api, ipcAlone, nil
+}
+
+// queueSamples is how many evenly spaced memory-controller queue-depth
+// observations an observed measurement window records.
+const queueSamples = 8
+
+// runMeasured advances the system through the measurement window. With a
+// collector installed, the window is split into chunks and the
+// memory-controller queue depth is sampled at each boundary; without one it
+// is a single Run call (zero overhead).
+func (r *Runner) runMeasured(sys *sim.System, cycles int64) {
+	if r.cfg.Obs == nil || cycles < queueSamples {
+		sys.Run(cycles)
+		return
+	}
+	chunk := cycles / queueSamples
+	for i := int64(0); i < queueSamples; i++ {
+		n := chunk
+		if i == queueSamples-1 {
+			n = cycles - chunk*(queueSamples-1) // remainder lands in the last chunk
+		}
+		sys.Run(n)
+		r.cfg.Obs.RecordQueueDepth(sys.Controller().Pending())
+	}
 }
 
 // MixRun is one (mix, scheme) measurement.
@@ -162,7 +202,9 @@ func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	stop := r.cfg.Obs.StageStart(obs.StageWarmup)
 	sys.Warmup()
+	stop()
 	if r.cfg.Tracer != nil {
 		sys.Controller().SetTracer(r.cfg.Tracer)
 	}
@@ -179,9 +221,13 @@ func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
 	if err != nil {
 		return nil, err
 	}
+	stop = r.cfg.Obs.StageStart(obs.StageSettle)
 	sys.Run(r.cfg.SettleCycles)
+	stop()
 	sys.ResetStats()
-	sys.Run(r.cfg.MeasureCycles)
+	stop = r.cfg.Obs.StageStart(obs.StageMeasure)
+	r.runMeasured(sys, r.cfg.MeasureCycles)
+	stop()
 	res := sys.Results()
 
 	run := &MixRun{

@@ -1,20 +1,37 @@
 package exper
 
 import (
+	"context"
+	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 
 	"bwpart/internal/metrics"
+	"bwpart/internal/obs"
 	"bwpart/internal/workload"
 )
 
 // Simulations of distinct (mix, scheme) pairs are independent, so the big
 // sweeps fan out across a bounded worker pool. Determinism is preserved:
-// each simulation is seeded independently of scheduling order, and results
-// are keyed, not appended.
+// each simulation is seeded independently of scheduling order, results are
+// keyed by job index, and a failing sweep always reports the lowest-index
+// job's error first regardless of which failure a worker observed first.
 
-// parallelism bounds concurrent simulations.
-func parallelism() int {
+// ParallelismEnv overrides the default worker count when set to a positive
+// integer (config takes precedence over the environment).
+const ParallelismEnv = "BWPART_PARALLELISM"
+
+// defaultParallelism bounds concurrent simulations: Config.Parallelism if
+// positive, else $BWPART_PARALLELISM, else GOMAXPROCS.
+func defaultParallelism() int {
+	if s := os.Getenv(ParallelismEnv); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1
@@ -22,30 +39,164 @@ func parallelism() int {
 	return n
 }
 
-// runJobs executes fn(i) for i in [0, n) on a bounded worker pool and
-// returns the first error (all jobs still run to completion).
-func runJobs(n int, fn func(i int) error) error {
-	sem := make(chan struct{}, parallelism())
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(i); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(i)
+// parallelism resolves the runner's worker count.
+func (r *Runner) parallelism() int {
+	if r.cfg.Parallelism > 0 {
+		return r.cfg.Parallelism
 	}
+	return defaultParallelism()
+}
+
+// jobErrors aggregates the failures of one runJobs batch in ascending job
+// index order, so the primary (first-rendered) error is scheduling
+// independent. Unwrap exposes every failure to errors.Is/As.
+type jobErrors struct {
+	indices []int   // ascending
+	errs    []error // parallel to indices
+}
+
+func (e *jobErrors) Error() string {
+	msg := fmt.Sprintf("job %d: %v", e.indices[0], e.errs[0])
+	if len(e.errs) > 1 {
+		msg += fmt.Sprintf(" (and %d more job errors)", len(e.errs)-1)
+	}
+	return msg
+}
+
+func (e *jobErrors) Unwrap() []error { return e.errs }
+
+// runJobs executes fn(i) for i in [0, n) on a bounded worker pool, with:
+//
+//   - cancellation: the first failure stops dispatch of not-yet-started
+//     jobs (already-running jobs finish, preserving determinism);
+//   - panic recovery: a panicking job fails its job with a stack-carrying
+//     error instead of killing the process;
+//   - deterministic error aggregation: the returned error renders the
+//     lowest-index failure first and unwraps to every collected failure
+//     (errors.Join semantics via Unwrap() []error);
+//   - observability: job counters are reported to the runner's collector.
+//
+// An external ctx cancellation aborts dispatch and surfaces ctx.Err() when
+// no job failed. fn must be safe for concurrent invocation.
+func runJobs(parent context.Context, workers int, col *obs.Collector, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	col.AddTotal(n)
+
+	var (
+		mu     sync.Mutex
+		failed = map[int]error{}
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				col.JobStarted()
+				if err := runOne(i, fn); err != nil {
+					col.JobFailed()
+					mu.Lock()
+					failed[i] = err
+					mu.Unlock()
+					cancel()
+				} else {
+					col.JobFinished()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
-	return firstErr
+
+	if len(failed) == 0 {
+		// No job failed, but the parent context may have aborted dispatch.
+		return parent.Err()
+	}
+	je := &jobErrors{}
+	for i := 0; i < n; i++ {
+		if err, ok := failed[i]; ok {
+			je.indices = append(je.indices, i)
+			je.errs = append(je.errs, err)
+		}
+	}
+	return je
+}
+
+// runOne invokes fn(i), converting a panic into an error that carries the
+// job index and goroutine stack.
+func runOne(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exper: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
+// runBatch runs a batch under the runner's configured parallelism and
+// collector with no external cancellation.
+func (r *Runner) runBatch(n int, fn func(i int) error) error {
+	return runJobs(context.Background(), r.parallelism(), r.cfg.Obs, n, fn)
+}
+
+// GridCell names one (mix, scheme) point of a sweep grid.
+type GridCell struct {
+	Mix    workload.Mix
+	Scheme string
+}
+
+// Grid expands mixes x schemes in row-major (mix-major) order.
+func Grid(mixes []workload.Mix, schemes []string) []GridCell {
+	cells := make([]GridCell, 0, len(mixes)*len(schemes))
+	for _, mix := range mixes {
+		for _, scheme := range schemes {
+			cells = append(cells, GridCell{Mix: mix, Scheme: scheme})
+		}
+	}
+	return cells
+}
+
+// RunGrid is the experiment engine's sweep entry point: it pre-warms the
+// alone-profile cache, then fans every (mix, scheme) cell out across the
+// worker pool. Results arrive in deterministic row-major order matching
+// Grid(mixes, schemes). ctx cancels the sweep between simulations.
+func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []string) ([]*MixRun, error) {
+	if err := r.warmAloneCache(ctx, mixes); err != nil {
+		return nil, err
+	}
+	cells := Grid(mixes, schemes)
+	results := make([]*MixRun, len(cells))
+	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(cells), func(i int) error {
+		run, err := r.RunMix(cells[i].Mix, cells[i].Scheme)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", cells[i].Mix.Name, cells[i].Scheme, err)
+		}
+		results[i] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }
 
 // Figure2Parallel computes the same result as Figure2 with all 98
@@ -54,30 +205,8 @@ func runJobs(n int, fn func(i int) error) error {
 // goroutines only read it.
 func (r *Runner) Figure2Parallel() (*Figure2Result, error) {
 	mixes := workload.AllMixes()
-	if err := r.warmAloneCache(mixes); err != nil {
-		return nil, err
-	}
-
-	type job struct {
-		mix    workload.Mix
-		scheme string // NoPartitioning or a scheme name
-	}
-	var jobs []job
-	for _, mix := range mixes {
-		jobs = append(jobs, job{mix, NoPartitioning})
-		for _, scheme := range Figure2Schemes() {
-			jobs = append(jobs, job{mix, scheme})
-		}
-	}
-	results := make([]*MixRun, len(jobs))
-	err := runJobs(len(jobs), func(i int) error {
-		run, err := r.RunMix(jobs[i].mix, jobs[i].scheme)
-		if err != nil {
-			return err
-		}
-		results[i] = run
-		return nil
-	})
+	schemes := append([]string{NoPartitioning}, Figure2Schemes()...)
+	results, err := r.RunGrid(context.Background(), mixes, schemes)
 	if err != nil {
 		return nil, err
 	}
@@ -119,12 +248,12 @@ func (r *Runner) Figure2Parallel() (*Figure2Result, error) {
 // warmAloneCache profiles every benchmark of the given mixes concurrently
 // and stores the results in the runner's cache. After it returns, RunMix
 // only reads the cache, making concurrent RunMix calls safe.
-func (r *Runner) warmAloneCache(mixes []workload.Mix) error {
+func (r *Runner) warmAloneCache(ctx context.Context, mixes []workload.Mix) error {
 	seen := map[string]bool{}
 	var names []string
 	for _, mix := range mixes {
 		for _, b := range mix.Benchmarks {
-			if !seen[b] {
+			if !seen[b] && !r.cached(b) {
 				seen[b] = true
 				names = append(names, b)
 			}
@@ -134,12 +263,14 @@ func (r *Runner) warmAloneCache(mixes []workload.Mix) error {
 		name string
 		ap   aloneEntry
 	}, len(names))
-	err := runJobs(len(names), func(i int) error {
+	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(names), func(i int) error {
 		p, err := workload.ByName(names[i])
 		if err != nil {
 			return err
 		}
+		stop := r.cfg.Obs.StageStart(obs.StageProfile)
 		ap, err := profileAloneFor(r.cfg, p)
+		stop()
 		if err != nil {
 			return err
 		}

@@ -39,7 +39,7 @@ func (r *Runner) Repeatability(mix workload.Mix, scheme string, seeds int) (*Rep
 	}
 	values := make(map[metrics.Objective][]float64, 4)
 	results := make([]*MixRun, seeds)
-	err := runJobs(seeds, func(i int) error {
+	err := r.runBatch(seeds, func(i int) error {
 		cfg := r.cfg
 		cfg.Seed = r.cfg.Seed + int64(i)
 		sub, err := NewRunner(cfg)

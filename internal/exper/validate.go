@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,20 +40,24 @@ type ValidationResult struct {
 	Rows []ValidationRow
 }
 
-// ValidateModel runs every scheme on the given mixes and compares the
-// model-predicted objective values with the measured ones.
+// ValidateModel runs every scheme on the given mixes — fanned out across
+// the worker pool — and compares the model-predicted objective values with
+// the measured ones.
 func (r *Runner) ValidateModel(mixes []workload.Mix) (*ValidationResult, error) {
+	runs, err := r.RunGrid(context.Background(), mixes, Figure2Schemes())
+	if err != nil {
+		return nil, err
+	}
 	out := &ValidationResult{}
+	idx := 0
 	for _, mix := range mixes {
 		apcAlone, api, _, err := r.aloneVectors(mix)
 		if err != nil {
 			return nil, err
 		}
 		for _, schemeName := range Figure2Schemes() {
-			run, err := r.RunMix(mix, schemeName)
-			if err != nil {
-				return nil, err
-			}
+			run := runs[idx]
+			idx++
 			sch, err := core.ByName(schemeName)
 			if err != nil {
 				return nil, err

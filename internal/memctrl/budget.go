@@ -58,7 +58,12 @@ func (b *BudgetThrottle) OnIssue(e *Entry) {
 }
 
 // replenish resets budgets at period boundaries. The per-period service
-// capacity derives from the data-bus burst time.
+// capacity derives from the data-bus burst time. Period boundaries stay
+// anchored to multiples of PeriodCycles from the first replenish: when the
+// controller goes idle and replenish next fires mid-period (a late
+// arrival), the budgets reset for the period already in progress and the
+// grid does not drift — long-run shares only average out correctly on a
+// fixed period grid.
 func (b *BudgetThrottle) replenish(now int64, dev *dram.Device) {
 	if b.init && now < b.periodEnd {
 		return
@@ -70,11 +75,16 @@ func (b *BudgetThrottle) replenish(now int64, dev *dram.Device) {
 		}
 		b.perPeriod = float64(b.PeriodCycles) / float64(burst) * float64(dev.Config().Channels)
 		b.init = true
+		b.periodEnd = now + b.PeriodCycles
+	} else {
+		// Advance whole periods past any idle gap; periodEnd remains
+		// anchor + k*PeriodCycles for integer k.
+		periodsBehind := (now-b.periodEnd)/b.PeriodCycles + 1
+		b.periodEnd += periodsBehind * b.PeriodCycles
 	}
 	for i, s := range b.shares {
 		b.budget[i] = s * b.perPeriod
 	}
-	b.periodEnd = now + b.PeriodCycles
 }
 
 func (b *BudgetThrottle) Pick(now int64, c *Controller, dev *dram.Device) Pick {

@@ -21,6 +21,49 @@ func TestBudgetThrottleValidation(t *testing.T) {
 	}
 }
 
+func TestBudgetThrottleReplenishGridAnchored(t *testing.T) {
+	dev := testDevice(t, dram.ClosePage)
+	period := int64(10_000)
+	bt, err := NewBudgetThrottle([]float64{0.5, 0.5}, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor := int64(1_234)
+	bt.replenish(anchor, dev) // first replenish sets the grid anchor
+	if bt.periodEnd != anchor+period {
+		t.Fatalf("first periodEnd = %d, want %d", bt.periodEnd, anchor+period)
+	}
+	full := bt.budget[0]
+	if full <= 0 {
+		t.Fatalf("budget not filled: %v", bt.budget)
+	}
+
+	// A mid-period call must not replenish.
+	bt.budget[0] = full / 4
+	bt.replenish(anchor+period/2, dev)
+	if bt.periodEnd != anchor+period || bt.budget[0] != full/4 {
+		t.Fatalf("mid-period call replenished: end %d budget %v", bt.periodEnd, bt.budget[0])
+	}
+
+	// Late arrival after an idle gap spanning several periods: budgets
+	// refill, and the next boundary is still anchor + k*period — before the
+	// fix it became now + period, shifting the grid by the gap's phase.
+	late := anchor + 5*period + 3_333
+	bt.replenish(late, dev)
+	if want := anchor + 6*period; bt.periodEnd != want {
+		t.Fatalf("period grid drifted: end %d, want %d (now %d)", bt.periodEnd, want, late)
+	}
+	if bt.budget[0] != full {
+		t.Fatalf("late replenish did not refill: %v, want %v", bt.budget[0], full)
+	}
+
+	// An exactly-on-boundary call advances one whole period.
+	bt.replenish(anchor+6*period, dev)
+	if want := anchor + 7*period; bt.periodEnd != want {
+		t.Fatalf("boundary call: end %d, want %d", bt.periodEnd, want)
+	}
+}
+
 func TestBudgetThrottleEnforcesShares(t *testing.T) {
 	dev := testDevice(t, dram.ClosePage)
 	bt, err := NewBudgetThrottle([]float64{0.7, 0.3}, 20_000)

@@ -152,6 +152,16 @@ func (c *Controller) Pending() int { return c.queued }
 // PendingFor returns the number of queued requests for one app.
 func (c *Controller) PendingFor(app int) int { return c.queues[app].len() }
 
+// QueueDepths snapshots the per-app queued (not yet issued) request counts,
+// for run-level observability.
+func (c *Controller) QueueDepths() []int {
+	out := make([]int, c.numApps)
+	for a := range c.queues {
+		out[a] = c.queues[a].len()
+	}
+	return out
+}
+
 // Tick advances the controller by one cycle: deliver completions, account
 // interference, and issue requests to the DRAM device — at most one per
 // channel per cycle (each channel has its own command path).

@@ -1,0 +1,260 @@
+// Package obs provides lightweight run-level observability for experiment
+// sweeps: monotonic job counters, per-stage wall-time aggregation, and
+// memory-controller queue-depth statistics, all collected into a Collector
+// that is safe for concurrent use by worker goroutines. A nil *Collector is
+// a valid no-op receiver, so instrumented code never needs nil checks and
+// pays one branch when observability is off.
+//
+// The Collector condenses into a Snapshot — a plain struct with JSON tags —
+// which CLIs render as a -progress stderr ticker or write as a -stats-json
+// sidecar file.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Canonical stage names used by the experiment runner. Stages are open-ended
+// strings; these constants just keep runner and renderers in sync.
+const (
+	StageWarmup  = "warmup"
+	StageProfile = "alone-profiling"
+	StageSettle  = "settle"
+	StageMeasure = "measurement"
+)
+
+// Collector accumulates run-level counters. The zero value is ready to use;
+// a nil *Collector silently discards every observation.
+type Collector struct {
+	mu      sync.Mutex
+	started time.Time
+
+	jobsTotal    int64
+	jobsStarted  int64
+	jobsFinished int64
+	jobsFailed   int64
+
+	stages map[string]*stageAgg
+
+	queueSamples int64
+	queueSum     int64
+	queueMax     int
+}
+
+type stageAgg struct {
+	count int64
+	total time.Duration
+}
+
+// NewCollector returns a Collector whose elapsed clock starts now.
+func NewCollector() *Collector {
+	return &Collector{started: time.Now()}
+}
+
+// AddTotal registers n more expected jobs (e.g. when a pool enqueues a
+// batch), so progress can be rendered as done/total.
+func (c *Collector) AddTotal(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsTotal += int64(n)
+	c.mu.Unlock()
+}
+
+// JobStarted records one job beginning execution.
+func (c *Collector) JobStarted() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsStarted++
+	c.mu.Unlock()
+}
+
+// JobFinished records one job completing successfully.
+func (c *Collector) JobFinished() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsFinished++
+	c.mu.Unlock()
+}
+
+// JobFailed records one job completing with an error (or panic).
+func (c *Collector) JobFailed() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsFailed++
+	c.mu.Unlock()
+}
+
+// StageStart opens a timed stage and returns the closer that records its
+// wall time. Concurrent stages of the same name aggregate (count + total).
+//
+//	defer c.StageStart(obs.StageWarmup)()
+func (c *Collector) StageStart(name string) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		d := time.Since(t0)
+		c.mu.Lock()
+		if c.stages == nil {
+			c.stages = make(map[string]*stageAgg)
+		}
+		agg := c.stages[name]
+		if agg == nil {
+			agg = &stageAgg{}
+			c.stages[name] = agg
+		}
+		agg.count++
+		agg.total += d
+		c.mu.Unlock()
+	}
+}
+
+// RecordQueueDepth folds one memory-controller queue-depth observation (the
+// total across per-app queues) into the running min/max/mean statistics.
+func (c *Collector) RecordQueueDepth(depth int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.queueSamples++
+	c.queueSum += int64(depth)
+	if depth > c.queueMax {
+		c.queueMax = depth
+	}
+	c.mu.Unlock()
+}
+
+// JobCounters is the job-level slice of a Snapshot.
+type JobCounters struct {
+	Total    int64 `json:"total"`
+	Started  int64 `json:"started"`
+	Finished int64 `json:"finished"`
+	Failed   int64 `json:"failed"`
+}
+
+// StageStat is one stage's aggregated wall time across all jobs.
+type StageStat struct {
+	Name    string  `json:"name"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// QueueStats summarizes memory-controller queue-depth observations.
+type QueueStats struct {
+	Samples int64   `json:"samples"`
+	Mean    float64 `json:"mean"`
+	Max     int     `json:"max"`
+}
+
+// Snapshot is a point-in-time copy of every collected statistic, ordered
+// deterministically (stages sorted by name) for stable JSON output.
+type Snapshot struct {
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Jobs           JobCounters `json:"jobs"`
+	Stages         []StageStat `json:"stages"`
+	Queue          QueueStats  `json:"queue"`
+}
+
+// Snapshot returns a consistent copy of the current counters. A nil
+// Collector yields the zero Snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Jobs: JobCounters{
+			Total:    c.jobsTotal,
+			Started:  c.jobsStarted,
+			Finished: c.jobsFinished,
+			Failed:   c.jobsFailed,
+		},
+		Queue: QueueStats{Samples: c.queueSamples, Max: c.queueMax},
+	}
+	if !c.started.IsZero() {
+		s.ElapsedSeconds = time.Since(c.started).Seconds()
+	}
+	if c.queueSamples > 0 {
+		s.Queue.Mean = float64(c.queueSum) / float64(c.queueSamples)
+	}
+	for name, agg := range c.stages {
+		s.Stages = append(s.Stages, StageStat{Name: name, Count: agg.count, Seconds: agg.total.Seconds()})
+	}
+	sort.Slice(s.Stages, func(i, j int) bool { return s.Stages[i].Name < s.Stages[j].Name })
+	return s
+}
+
+// Line renders the snapshot as a one-line progress string, e.g.
+//
+//	jobs 12/98 done (1 failed) | measurement 3.2s x24 | queue mean 5.1 max 19 | 4.8s
+func (s Snapshot) Line() string {
+	out := fmt.Sprintf("jobs %d/%d done", s.Jobs.Finished, s.Jobs.Total)
+	if s.Jobs.Failed > 0 {
+		out += fmt.Sprintf(" (%d failed)", s.Jobs.Failed)
+	}
+	for _, st := range s.Stages {
+		out += fmt.Sprintf(" | %s %.1fs x%d", st.Name, st.Seconds, st.Count)
+	}
+	if s.Queue.Samples > 0 {
+		out += fmt.Sprintf(" | queue mean %.1f max %d", s.Queue.Mean, s.Queue.Max)
+	}
+	out += fmt.Sprintf(" | %.1fs", s.ElapsedSeconds)
+	return out
+}
+
+// Ticker periodically renders progress lines to w until stopped.
+type Ticker struct {
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartTicker renders c.Snapshot().Line() to w every interval. Stop it with
+// Ticker.Stop, which emits one final line so the last state is always
+// visible. Intervals below 100ms are raised to 100ms.
+func (c *Collector) StartTicker(w io.Writer, interval time.Duration) *Ticker {
+	t := &Ticker{stop: make(chan struct{}), done: make(chan struct{})}
+	if c == nil {
+		close(t.done)
+		return t
+	}
+	if interval < 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	go func() {
+		defer close(t.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(w, "progress: %s\n", c.Snapshot().Line())
+			case <-t.stop:
+				fmt.Fprintf(w, "progress: %s\n", c.Snapshot().Line())
+				return
+			}
+		}
+	}()
+	return t
+}
+
+// Stop halts the ticker after one final progress line and waits for the
+// rendering goroutine to exit. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.once.Do(func() { close(t.stop) })
+	<-t.done
+}

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.AddTotal(5)
+	c.JobStarted()
+	c.JobFinished()
+	c.JobFailed()
+	c.StageStart("x")()
+	c.RecordQueueDepth(3)
+	s := c.Snapshot()
+	if s.Jobs.Total != 0 || s.Jobs.Started != 0 || len(s.Stages) != 0 {
+		t.Fatalf("nil collector recorded data: %+v", s)
+	}
+	tk := c.StartTicker(&strings.Builder{}, time.Second)
+	tk.Stop()
+	tk.Stop() // idempotent
+}
+
+func TestCountersAndStages(t *testing.T) {
+	c := NewCollector()
+	c.AddTotal(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.JobStarted()
+			stop := c.StageStart(StageMeasure)
+			stop()
+			if i == 0 {
+				c.JobFailed()
+			} else {
+				c.JobFinished()
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Jobs.Total != 4 || s.Jobs.Started != 4 || s.Jobs.Finished != 3 || s.Jobs.Failed != 1 {
+		t.Fatalf("bad counters: %+v", s.Jobs)
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Name != StageMeasure || s.Stages[0].Count != 4 {
+		t.Fatalf("bad stages: %+v", s.Stages)
+	}
+	if s.Stages[0].Seconds < 0 {
+		t.Fatalf("negative stage time: %+v", s.Stages[0])
+	}
+}
+
+func TestQueueDepthStats(t *testing.T) {
+	c := NewCollector()
+	for _, d := range []int{2, 8, 5} {
+		c.RecordQueueDepth(d)
+	}
+	q := c.Snapshot().Queue
+	if q.Samples != 3 || q.Max != 8 {
+		t.Fatalf("bad queue stats: %+v", q)
+	}
+	if want := 5.0; q.Mean != want {
+		t.Fatalf("mean = %v, want %v", q.Mean, want)
+	}
+}
+
+func TestStagesSortedAndJSONRoundTrip(t *testing.T) {
+	c := NewCollector()
+	c.StageStart(StageWarmup)()
+	c.StageStart(StageProfile)()
+	c.StageStart(StageSettle)()
+	s := c.Snapshot()
+	for i := 1; i < len(s.Stages); i++ {
+		if s.Stages[i-1].Name >= s.Stages[i].Name {
+			t.Fatalf("stages not sorted: %+v", s.Stages)
+		}
+	}
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != len(s.Stages) {
+		t.Fatalf("round trip lost stages: %s", raw)
+	}
+}
+
+func TestSnapshotLine(t *testing.T) {
+	c := NewCollector()
+	c.AddTotal(2)
+	c.JobStarted()
+	c.JobFinished()
+	c.JobStarted()
+	c.JobFailed()
+	c.RecordQueueDepth(7)
+	line := c.Snapshot().Line()
+	for _, want := range []string{"jobs 1/2 done", "(1 failed)", "queue mean 7.0 max 7"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestTickerEmitsFinalLine(t *testing.T) {
+	c := NewCollector()
+	c.AddTotal(1)
+	c.JobStarted()
+	c.JobFinished()
+	var mu sync.Mutex
+	var sb strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return sb.Write(p)
+	})
+	tk := c.StartTicker(w, time.Hour) // only the final line fires
+	tk.Stop()
+	mu.Lock()
+	out := sb.String()
+	mu.Unlock()
+	if !strings.Contains(out, "progress: jobs 1/1 done") {
+		t.Fatalf("ticker output %q missing final progress line", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -154,6 +154,11 @@ func (s *System) Run(cycles int64) {
 // SharedL2 returns the shared L2 (nil in the private topology).
 func (s *System) SharedL2() *cache.SharedCache { return s.sharedL2 }
 
+// QueueDepths snapshots the memory controller's per-app queue depths (see
+// memctrl.Controller.QueueDepths); total pending is available via
+// Controller().Pending().
+func (s *System) QueueDepths() []int { return s.ctrl.QueueDepths() }
+
 // ResetStats zeroes every measurement counter; microarchitectural and
 // scheduler state persist, so a measurement window starts from warm state.
 func (s *System) ResetStats() {
