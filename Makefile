@@ -1,13 +1,14 @@
 # Development targets. `make check` is the PR gate: vet, build, the full
-# test suite, and a race-detector pass over the concurrent packages (the
+# test suite, a race-detector pass over the concurrent packages (the
 # experiment engine, its observability collector, and the memory
-# controller).
+# controller), and a compile of every benchmark. `make bench` runs the
+# kernel performance benchmarks and renders BENCH_kernel.json.
 
 GO ?= go
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race benchbuild bench
 
-check: vet build test race
+check: vet build test race benchbuild
 
 vet:
 	$(GO) vet ./...
@@ -20,3 +21,19 @@ test:
 
 race:
 	$(GO) test -race ./internal/exper/... ./internal/obs/... ./internal/memctrl/...
+
+# benchbuild compiles and link-checks every benchmark without running any
+# (the -run pattern matches no tests, -benchtime 1x keeps it cheap if a
+# benchmark name ever slips through).
+benchbuild:
+	$(GO) test -run '^$$' -bench 'ThisMatchesNoBenchmark' -benchtime 1x ./...
+
+# bench runs the simulation-kernel and event-queue benchmarks (3 repeats of
+# one iteration each) and condenses them into BENCH_kernel.json with the
+# derived naive-vs-skip speedups. Two steps rather than a pipe so a failing
+# bench run fails the target.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 ./internal/sim ./internal/event > bench.out
+	$(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
+	@rm -f bench.out
+	@cat BENCH_kernel.json

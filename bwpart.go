@@ -28,6 +28,7 @@
 package bwpart
 
 import (
+	"fmt"
 	"io"
 
 	"bwpart/internal/core"
@@ -65,6 +66,8 @@ type (
 type (
 	// SimConfig describes the simulated CMP (cores, caches, DRAM).
 	SimConfig = sim.Config
+	// Kernel selects the simulation main-loop implementation.
+	Kernel = sim.Kernel
 	// DRAMConfig describes the DRAM geometry and timing.
 	DRAMConfig = dram.Config
 	// System is an assembled CMP running one application per core.
@@ -199,6 +202,26 @@ func IPCSum(shared []float64) (float64, error)             { return metrics.IPCS
 func MinFairness(shared, alone []float64) (float64, error) { return metrics.MinFairness(shared, alone) }
 
 // Simulation entry points.
+
+// Simulation kernels (SimConfig.Kernel).
+const (
+	// KernelCycleSkipping leaps over quiescent spans; bit-identical to the
+	// naive loop and the default.
+	KernelCycleSkipping = sim.KernelCycleSkipping
+	// KernelNaive ticks every component every cycle: the reference loop.
+	KernelNaive = sim.KernelNaive
+)
+
+// KernelByName maps a CLI-friendly name ("skip" or "naive") to a Kernel.
+func KernelByName(name string) (Kernel, error) {
+	switch name {
+	case "skip", "cycle-skipping":
+		return KernelCycleSkipping, nil
+	case "naive":
+		return KernelNaive, nil
+	}
+	return 0, fmt.Errorf("bwpart: unknown kernel %q (want skip or naive)", name)
+}
 
 // DefaultSimConfig returns the paper's baseline system (Table II).
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }

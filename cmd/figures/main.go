@@ -14,9 +14,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"bwpart"
+	"bwpart/internal/pprofutil"
 )
 
 func main() {
@@ -29,13 +31,34 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = $BWPART_PARALLELISM or GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "render a progress ticker on stderr")
 	statsJSON := flag.String("stats-json", "", "write run statistics (job counters, stage timings, queue depths) to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
 	flag.Parse()
+
+	kernel, err := bwpart.KernelByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := prof.Stop(); err != nil {
+			log.Print(err)
+		}
+	}()
+	// log.Fatal skips deferred calls, so every fatal path below goes through
+	// this wrapper to flush the profiles first.
+	fatalf := func(format string, args ...any) { prof.Stop(); log.Fatalf(format, args...) }
 
 	out := io.Writer(os.Stdout)
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			log.Fatal(err)
+			fatalf("%v", err)
 		}
 		defer f.Close()
 		out = io.MultiWriter(os.Stdout, f)
@@ -47,6 +70,7 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
+	cfg.Sim.Kernel = kernel
 	col := bwpart.NewRunObserver()
 	cfg.Obs = col
 	if *progress {
@@ -59,16 +83,16 @@ func main() {
 		}
 		raw, err := json.MarshalIndent(col.Snapshot(), "", "  ")
 		if err != nil {
-			log.Fatalf("encoding stats: %v", err)
+			fatalf("encoding stats: %v", err)
 		}
 		if err := os.WriteFile(*statsJSON, append(raw, '\n'), 0o644); err != nil {
-			log.Fatalf("writing stats: %v", err)
+			fatalf("writing stats: %v", err)
 		}
 	}
 	defer writeStats()
 	runner, err := bwpart.NewRunner(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 
 	run := func(name string, fn func() error) {
@@ -76,7 +100,7 @@ func main() {
 		fmt.Fprintf(out, "### %s\n", name)
 		if err := fn(); err != nil {
 			writeStats()
-			log.Fatalf("%s: %v", name, err)
+			fatalf("%s: %v", name, err)
 		}
 		fmt.Fprintf(out, "(%s in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -153,7 +177,15 @@ func main() {
 			if err != nil {
 				return err
 			}
-			for name, series := range apcs {
+			// Sorted so the report is byte-stable across runs (map order
+			// would interleave the two lines randomly).
+			names := make([]string, 0, len(apcs))
+			for name := range apcs {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				series := apcs[name]
 				fmt.Fprintf(out, "APKC_alone scaling %s: %.2f -> %.2f (paper: lbm +83.7%%, leslie3d +24.5%%)\n",
 					name, series[0], series[1])
 			}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"bwpart"
+	"bwpart/internal/pprofutil"
 )
 
 func main() {
@@ -39,22 +40,39 @@ func main() {
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = $BWPART_PARALLELISM or GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "render a progress ticker on stderr")
 	statsJSON := flag.String("stats-json", "", "write run statistics (job counters, stage timings, queue depths) to this JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
 	flag.Parse()
+
+	kernel, err := bwpart.KernelByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof, err := pprofutil.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// log.Fatal skips deferred calls, so every fatal path below goes through
+	// these wrappers to flush the profiles first.
+	fatal := func(v ...any) { prof.Stop(); log.Fatal(v...) }
+	fatalf := func(format string, args ...any) { prof.Stop(); log.Fatalf(format, args...) }
 
 	scales, err := parseFloats(*scalesFlag)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	mixNames := splitList(*mixesFlag)
 	schemes := splitList(*schemesFlag)
 	if len(mixNames) == 0 || len(schemes) == 0 {
-		log.Fatal("need at least one mix and one scheme")
+		fatal("need at least one mix and one scheme")
 	}
 	mixes := make([]bwpart.Mix, len(mixNames))
 	for i, name := range mixNames {
 		mixes[i], err = bwpart.MixByName(name)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
@@ -68,7 +86,7 @@ func main() {
 	header := []string{"scale", "gbs", "mix", "scheme",
 		"hsp", "min_fairness", "wsp", "ipc_sum", "bus_util", "total_apc"}
 	if err := w.Write(header); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 
 	for _, scale := range scales {
@@ -79,16 +97,19 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Parallelism = *parallel
 		cfg.Obs = col
+		cfg.Sim.Kernel = kernel
 		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
 		runner, err := bwpart.NewRunner(cfg)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		gbs := cfg.Sim.DRAM.PeakBandwidthGBs()
 		runs, err := runner.RunGrid(context.Background(), mixes, schemes)
 		if err != nil {
-			writeStats(*statsJSON, col)
-			log.Fatal(err)
+			if serr := writeStats(*statsJSON, col); serr != nil {
+				log.Print(serr)
+			}
+			fatal(err)
 		}
 		for _, run := range runs {
 			row := []string{
@@ -104,7 +125,7 @@ func main() {
 				fmt.Sprintf("%.6f", run.Result.TotalAPC),
 			}
 			if err := w.Write(row); err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 		}
 		w.Flush()
@@ -113,23 +134,29 @@ func main() {
 	// truncating output while still exiting 0): flush and check explicitly.
 	w.Flush()
 	if err := w.Error(); err != nil {
-		log.Fatalf("writing CSV: %v", err)
+		fatalf("writing CSV: %v", err)
 	}
-	writeStats(*statsJSON, col)
+	if err := writeStats(*statsJSON, col); err != nil {
+		fatal(err)
+	}
+	if err := prof.Stop(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // writeStats marshals the collector snapshot to path (no-op when empty).
-func writeStats(path string, col *bwpart.RunObserver) {
+func writeStats(path string, col *bwpart.RunObserver) error {
 	if path == "" {
-		return
+		return nil
 	}
 	raw, err := json.MarshalIndent(col.Snapshot(), "", "  ")
 	if err != nil {
-		log.Fatalf("encoding stats: %v", err)
+		return fmt.Errorf("encoding stats: %v", err)
 	}
 	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
-		log.Fatalf("writing stats: %v", err)
+		return fmt.Errorf("writing stats: %v", err)
 	}
+	return nil
 }
 
 // splitList splits a comma-separated flag value, trimming whitespace and

@@ -7,6 +7,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"bwpart/internal/event"
 	"bwpart/internal/mem"
@@ -311,6 +312,25 @@ func (c *Cache) Tick(now int64) {
 	}
 	c.deferred = kept
 }
+
+// NextEventCycle reports whether the cache is quiescent after its Tick at
+// cycle now and the next cycle it has scheduled work. With no deferred
+// lower-level sends, Tick is a pure event-queue drain, so the cache needs
+// to run again only at its next pending event; a non-empty deferred list
+// retries the lower level every cycle and forbids skipping.
+func (c *Cache) NextEventCycle(now int64) (int64, bool) {
+	if len(c.deferred) > 0 {
+		return 0, false
+	}
+	if next, ok := c.events.NextCycle(); ok {
+		return next, true
+	}
+	return math.MaxInt64, true
+}
+
+// SkipIdle is a no-op: a quiescent cache's Tick has no per-cycle effects to
+// integrate over a skipped span.
+func (c *Cache) SkipIdle(from, to int64) {}
 
 // OutstandingMisses returns the number of in-flight miss lines.
 func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

@@ -3,6 +3,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"bwpart/internal/event"
 	"bwpart/internal/mem"
@@ -301,6 +302,23 @@ func (c *SharedCache) Tick(now int64) {
 	}
 	c.deferred = kept
 }
+
+// NextEventCycle mirrors Cache.NextEventCycle for the shared topology:
+// quiescent when no deferred sends are pending, waking at the next
+// scheduled event.
+func (c *SharedCache) NextEventCycle(now int64) (int64, bool) {
+	if len(c.deferred) > 0 {
+		return 0, false
+	}
+	if next, ok := c.events.NextCycle(); ok {
+		return next, true
+	}
+	return math.MaxInt64, true
+}
+
+// SkipIdle is a no-op: a quiescent shared cache's Tick has no per-cycle
+// effects.
+func (c *SharedCache) SkipIdle(from, to int64) {}
 
 // OutstandingMisses returns in-flight miss lines.
 func (c *SharedCache) OutstandingMisses() int { return len(c.mshrs) }

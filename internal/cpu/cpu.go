@@ -10,6 +10,7 @@ package cpu
 
 import (
 	"errors"
+	"math"
 
 	"bwpart/internal/mem"
 )
@@ -179,6 +180,77 @@ func (c *Core) Tick(now int64) {
 	c.refreshParams(now)
 	c.retire()
 	c.dispatch(now)
+}
+
+// NextEventCycle reports whether the core, as left by its Tick at cycle
+// now, is quiescent: every future Tick is a pure stall (counter increments
+// only) until some external fill callback changes its state. It returns the
+// next cycle at which the core itself must tick regardless (a phase-
+// parameter refresh for dynamic streams; effectively never otherwise) —
+// fill callbacks arrive through other components' event queues, which
+// bound the skip on their own.
+//
+// The core is quiescent exactly when retirement is blocked on an undone ROB
+// head AND dispatch is stably blocked: either the ROB is full, or the next
+// instruction is a cold load held by the MLP bound. A pending instruction
+// that was merely rejected by the L1 is NOT quiescent — its retry calls
+// into the cache every cycle.
+func (c *Core) NextEventCycle(now int64) (int64, bool) {
+	if c.robCount == 0 || c.rob[c.robHead].done {
+		return 0, false // retirement would progress
+	}
+	robFull := c.robCount >= c.cfg.ROBSize
+	mlpStall := !robFull && c.pending != nil && c.pending.Mem && !c.pending.Write &&
+		c.pending.Cold && c.outstandingLoads >= c.cfg.MaxOutstandingLoads
+	if !robFull && !mlpStall {
+		return 0, false
+	}
+	if c.dyn != nil {
+		// Never skip across a parameter refresh: BaseIPC/MLP could change
+		// mid-span and break the stall-integration below.
+		return c.nextRefresh, true
+	}
+	return math.MaxInt64, true
+}
+
+// SkipIdle accounts the cycles [from, to) as if Tick had run on each of
+// them while the core was quiescent (see NextEventCycle). It must leave the
+// core bit-identical to naive ticking: Cycles advances, the dispatch credit
+// accumulates with the exact repeated add-then-clamp float semantics, and
+// the matching stall counter increments on every cycle the credit allows a
+// dispatch attempt.
+func (c *Core) SkipIdle(from, to int64) {
+	n := to - from
+	c.stats.Cycles += n
+	w := float64(c.cfg.Width)
+	robFull := c.robCount >= c.cfg.ROBSize
+	// Replay the credit accumulation until it saturates at the clamp value.
+	// Clamping assigns exactly w, a fixpoint of add-then-clamp, so once
+	// credit == w every remaining cycle is identical; a closed form
+	// (credit0 + span*BaseIPC) would not reproduce the naive loop's float
+	// rounding bit for bit.
+	var i int64
+	for ; i < n && c.credit != w; i++ {
+		c.credit += c.cfg.BaseIPC
+		if c.credit > w {
+			c.credit = w
+		}
+		if c.credit >= 1 {
+			if robFull {
+				c.stats.ROBFullCycles++
+			} else {
+				c.stats.MLPStallCycles++
+			}
+		}
+	}
+	if rem := n - i; rem > 0 {
+		// credit pinned at w (>= 1): each remaining cycle stalls identically.
+		if robFull {
+			c.stats.ROBFullCycles += rem
+		} else {
+			c.stats.MLPStallCycles += rem
+		}
+	}
 }
 
 func (c *Core) retire() {

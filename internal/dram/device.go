@@ -92,6 +92,13 @@ func (d *Device) BankReady(co Coord, now int64) bool {
 	return d.banks[d.cfg.GlobalBank(co)].readyAt <= now
 }
 
+// BankReadyAt returns the earliest cycle the bank owning co can begin new
+// work. Controllers use it to sleep until a blocked candidate could issue
+// instead of probing BankReady cycle by cycle.
+func (d *Device) BankReadyAt(co Coord) int64 {
+	return d.banks[d.cfg.GlobalBank(co)].readyAt
+}
+
 // Blocker describes which resource is delaying an access and who holds it.
 // Used by the controller's interference detector (paper Sec. IV-C).
 type Blocker struct {
@@ -113,6 +120,33 @@ func (d *Device) Contention(co Coord, app int, now int64) Blocker {
 		return Blocker{Blocked: true, App: bus.lastApp}
 	}
 	return Blocker{App: -1}
+}
+
+// ContentionCycles integrates Contention over the half-open cycle span
+// [from, to) under the assumption that no access is issued within the span
+// (bank and bus state frozen): it returns how many of those cycles an
+// access to co by app would have been reported blocked by another
+// application. This is the closed form of calling Contention once per cycle
+// — a cycle is bank-blocked while before the bank's ready cycle, and
+// bus-blocked while the bank is ready but the bus backlog has not drained —
+// used by the cycle-skipping kernel to keep the paper's Eq. 13 interference
+// counter bit-identical across skipped spans.
+func (d *Device) ContentionCycles(co Coord, app int, from, to int64) int64 {
+	var n int64
+	b := &d.banks[d.cfg.GlobalBank(co)]
+	if b.lastApp >= 0 && b.lastApp != app {
+		if end := min(to, b.readyAt); end > from {
+			n += end - from
+		}
+	}
+	bus := &d.buses[co.Channel]
+	if bus.lastApp >= 0 && bus.lastApp != app {
+		start := max(from, b.readyAt)
+		if end := min(to, bus.freeAt); end > start {
+			n += end - start
+		}
+	}
+	return n
 }
 
 // Issue starts an access to co on behalf of app no earlier than cycle now,

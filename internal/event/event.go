@@ -5,8 +5,6 @@
 // simulations reproducible.
 package event
 
-import "container/heap"
-
 // item is a scheduled callback. seq breaks ties between events scheduled for
 // the same cycle so execution order is insertion order.
 type item struct {
@@ -15,28 +13,21 @@ type item struct {
 	fn    func()
 }
 
-type itemHeap []item
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+// Before orders items by (cycle, seq); the seq tiebreak makes the order a
+// strict total order, so pop order is independent of heap internals.
+func (a item) Before(b item) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
 	}
-	return h[i].seq < h[j].seq
-}
-func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(item)) }
-func (h *itemHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	return a.seq < b.seq
 }
 
-// Queue is a deterministic future-event list. The zero value is ready to use.
+// Queue is a deterministic future-event list. The zero value is ready to
+// use. Scheduling and dispatch are allocation-free in steady state: the
+// inline generic heap moves items by value instead of boxing each one
+// through container/heap's interface{}.
 type Queue struct {
-	h   itemHeap
+	h   minHeap[item]
 	seq uint64
 }
 
@@ -44,7 +35,7 @@ type Queue struct {
 // is allowed; the event fires on the next RunUntil call.
 func (q *Queue) At(cycle int64, fn func()) {
 	q.seq++
-	heap.Push(&q.h, item{cycle: cycle, seq: q.seq, fn: fn})
+	q.h.push(item{cycle: cycle, seq: q.seq, fn: fn})
 }
 
 // Len returns the number of pending events.
@@ -64,7 +55,6 @@ func (q *Queue) NextCycle() (int64, bool) {
 // or before cycle.
 func (q *Queue) RunUntil(cycle int64) {
 	for len(q.h) > 0 && q.h[0].cycle <= cycle {
-		it := heap.Pop(&q.h).(item)
-		it.fn()
+		q.h.pop().fn()
 	}
 }

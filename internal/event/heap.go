@@ -1,0 +1,64 @@
+package event
+
+// ordered is the constraint for minHeap elements: a strict-weak Before
+// defining the heap order.
+type ordered[T any] interface {
+	Before(T) bool
+}
+
+// minHeap is an inline array-backed binary min-heap. Unlike container/heap
+// it is generic over the element type, so push and pop move concrete values
+// without boxing them into interface{} — no allocation beyond the backing
+// array's amortized growth.
+type minHeap[T ordered[T]] []T
+
+// push appends v and restores the heap invariant.
+func (h *minHeap[T]) push(v T) {
+	*h = append(*h, v)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the minimum element. The vacated tail slot is
+// zeroed so popped elements (and anything they reference, e.g. closures)
+// become collectable.
+func (h *minHeap[T]) pop() T {
+	old := *h
+	n := len(old) - 1
+	v := old[0]
+	old[0] = old[n]
+	var zero T
+	old[n] = zero
+	*h = old[:n]
+	h.siftDown(0)
+	return v
+}
+
+func (h minHeap[T]) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].Before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h minHeap[T]) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].Before(h[l]) {
+			m = r
+		}
+		if !h[m].Before(h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

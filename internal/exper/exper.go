@@ -165,13 +165,14 @@ func (r *Runner) runMeasured(sys *sim.System, cycles int64) {
 		return
 	}
 	chunk := cycles / queueSamples
+	sampler := r.cfg.Obs.NewQueueSampler(sys)
 	for i := int64(0); i < queueSamples; i++ {
 		n := chunk
 		if i == queueSamples-1 {
 			n = cycles - chunk*(queueSamples-1) // remainder lands in the last chunk
 		}
 		sys.Run(n)
-		r.cfg.Obs.RecordQueueDepth(sys.Controller().Pending())
+		sampler.Sample()
 	}
 }
 

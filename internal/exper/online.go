@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"bwpart/internal/core"
+	"bwpart/internal/memctrl"
 	"bwpart/internal/metrics"
 	"bwpart/internal/profile"
 	"bwpart/internal/sim"
@@ -72,10 +73,12 @@ func (r *Runner) RunOnline(mix workload.Mix, scheme string, epochCycles int64, e
 		Values:         make(map[metrics.Objective]float64, 4),
 	}
 	var est []float64
+	var statsBuf []memctrl.AppStats // reused across epochs; the tracker never retains it
 	for e := 0; e < epochs; e++ {
 		sys.ResetStats()
 		sys.Run(epochCycles)
-		est, err = tracker.Update(sys.Controller().Stats(), epochCycles)
+		statsBuf = sys.Controller().StatsInto(statsBuf)
+		est, err = tracker.Update(statsBuf, epochCycles)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@ import (
 
 	"bwpart/internal/core"
 	"bwpart/internal/cpu"
+	"bwpart/internal/memctrl"
 	"bwpart/internal/profile"
 	"bwpart/internal/sim"
 	"bwpart/internal/workload"
@@ -89,6 +90,8 @@ func (r *Runner) PhaseStudy(phaseInstr, epochCycles int64, epochs int) (*PhaseSt
 		return nil, err
 	}
 
+	var statsBuf []memctrl.AppStats // reused across epochs; EstimateAll never retains it
+
 	// Prologue: both systems profile under FCFS for one epoch.
 	prologue := func(sys *sim.System) ([]float64, []float64, error) {
 		if err := sys.ApplyNoPartitioning(); err != nil {
@@ -96,7 +99,8 @@ func (r *Runner) PhaseStudy(phaseInstr, epochCycles int64, epochs int) (*PhaseSt
 		}
 		sys.ResetStats()
 		sys.Run(epochCycles)
-		est, err := profile.EstimateAll(sys.Controller().Stats(), epochCycles)
+		statsBuf = sys.Controller().StatsInto(statsBuf)
+		est, err := profile.EstimateAll(statsBuf, epochCycles)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -129,7 +133,8 @@ func (r *Runner) PhaseStudy(phaseInstr, epochCycles int64, epochs int) (*PhaseSt
 
 		sRes := static.Results()
 		oRes := online.Results()
-		est, err := profile.EstimateAll(online.Controller().Stats(), epochCycles)
+		statsBuf = online.Controller().StatsInto(statsBuf)
+		est, err := profile.EstimateAll(statsBuf, epochCycles)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ package memctrl
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"bwpart/internal/dram"
 	"bwpart/internal/event"
@@ -155,11 +156,18 @@ func (c *Controller) PendingFor(app int) int { return c.queues[app].len() }
 // QueueDepths snapshots the per-app queued (not yet issued) request counts,
 // for run-level observability.
 func (c *Controller) QueueDepths() []int {
-	out := make([]int, c.numApps)
+	return c.QueueDepthsInto(make([]int, 0, c.numApps))
+}
+
+// QueueDepthsInto appends the per-app queued request counts to buf[:0] and
+// returns it, so periodic samplers can reuse one buffer instead of
+// allocating per observation.
+func (c *Controller) QueueDepthsInto(buf []int) []int {
+	buf = buf[:0]
 	for a := range c.queues {
-		out[a] = c.queues[a].len()
+		buf = append(buf, c.queues[a].len())
 	}
-	return out
+	return buf
 }
 
 // Tick advances the controller by one cycle: deliver completions, account
@@ -273,8 +281,8 @@ func (c *Controller) earliestBankReady(now int64) int64 {
 		// Conservative: we only know the bank becomes ready at readyAt; new
 		// arrivals reset nextTry anyway.
 		t := now + 1
-		if !c.dev.BankReady(e.Coord, now) {
-			t = c.bankReadyAt(e.Coord, now)
+		if r := c.dev.BankReadyAt(e.Coord); r > t {
+			t = r
 		}
 		if first || t < earliest {
 			earliest = t
@@ -282,30 +290,6 @@ func (c *Controller) earliestBankReady(now int64) int64 {
 		}
 	}
 	return earliest
-}
-
-// bankReadyAt finds the bank's ready cycle by probing BankReady. The device
-// does not export readyAt directly; a bounded doubling search keeps this
-// O(log wait).
-func (c *Controller) bankReadyAt(co dram.Coord, now int64) int64 {
-	lo, hi := now, now+1
-	for !c.dev.BankReady(co, hi) {
-		span := hi - lo
-		lo = hi
-		hi += span * 2
-		if hi-now > 1<<20 { // safety bound; refresh/precharge are far shorter
-			return hi
-		}
-	}
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.dev.BankReady(co, mid) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo
 }
 
 // accountInterference implements the paper's per-cycle interference
@@ -331,11 +315,94 @@ func (c *Controller) accountInterference(now int64, issued *Entry) {
 	}
 }
 
+// NextEventCycle reports whether the controller, after its Tick at cycle
+// now, is quiescent — no issue, completion, or stat side effect other than
+// the per-cycle interference accounting (integrated by SkipIdle) can occur
+// before the returned cycle. With queued requests the claim additionally
+// requires the scheduler to declare itself free of time-anchored Pick state
+// (see IdleSkipSafeScheduler); otherwise the controller must be ticked
+// every cycle.
+func (c *Controller) NextEventCycle(now int64) (int64, bool) {
+	next, ok := c.events.NextCycle()
+	if !ok {
+		next = math.MaxInt64
+	}
+	if c.queued == 0 {
+		return next, true
+	}
+	if !schedIdleSkipSafe(c.sched) {
+		return 0, false
+	}
+	if c.inFlight < c.maxInFlight {
+		if t := c.earliestIssueCycle(now); t < next {
+			next = t
+		}
+	}
+	return next, true
+}
+
+// earliestIssueCycle lower-bounds the first cycle > now at which any queued
+// request could issue, assuming no arrivals or completions in between (the
+// kernel guarantees both by taking the minimum across components). For
+// head-only schedulers the candidates are exactly the app heads; otherwise
+// every queued entry is a candidate — conservatively early for policies
+// like FR-FCFS that may still decline a bank-ready non-head entry, which
+// costs a naive tick but never skips over a real issue.
+func (c *Controller) earliestIssueCycle(now int64) int64 {
+	earliest := int64(math.MaxInt64)
+	headOnly := c.sched.HeadOnly()
+	for a := range c.queues {
+		q := &c.queues[a]
+		n := q.len()
+		if headOnly && n > 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			t := now + 1
+			if r := c.dev.BankReadyAt(q.at(i).Coord); r > t {
+				t = r
+			}
+			if t < earliest {
+				earliest = t
+				if earliest == now+1 {
+					return earliest
+				}
+			}
+		}
+	}
+	return earliest
+}
+
+// SkipIdle integrates the per-cycle interference accounting over the
+// skipped span [from, to): with queues, banks and buses frozen (no issues,
+// completions or arrivals happen in a quiescent span) each app's head
+// request accrues exactly the blocked-by-other cycles the per-cycle
+// detector would have counted, in closed form via dram.ContentionCycles.
+// The scheduler-preferred-another-app term contributes nothing because no
+// request issues within the span.
+func (c *Controller) SkipIdle(from, to int64) {
+	if c.queued == 0 {
+		return
+	}
+	for a := 0; a < c.numApps; a++ {
+		e := c.queues[a].peek()
+		if e == nil {
+			continue
+		}
+		c.stats[a].InterferenceCycles += c.dev.ContentionCycles(e.Coord, a, from, to)
+	}
+}
+
 // Stats returns a copy of the per-app counters.
 func (c *Controller) Stats() []AppStats {
-	out := make([]AppStats, len(c.stats))
-	copy(out, c.stats)
-	return out
+	return c.StatsInto(make([]AppStats, 0, len(c.stats)))
+}
+
+// StatsInto appends a snapshot of the per-app counters to buf[:0] and
+// returns it, so per-epoch and per-window readers on the hot path can reuse
+// one buffer instead of allocating each snapshot.
+func (c *Controller) StatsInto(buf []AppStats) []AppStats {
+	return append(buf[:0], c.stats...)
 }
 
 // ResetStats zeroes per-app counters (e.g. at the start of a measurement

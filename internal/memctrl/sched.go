@@ -23,6 +23,26 @@ type Scheduler interface {
 	Name() string
 }
 
+// IdleSkipSafeScheduler is the opt-in marker for the cycle-skipping
+// simulation kernel. A scheduler declaring IdleSkipSafe() == true promises
+// that its Pick decisions depend only on the controller/device state at the
+// Pick cycle, never on how many times (or at which cycles) Pick was called
+// while nothing was issuable — so skipping the dead cycles of an idle span
+// and scanning once at the wake cycle reproduces the naive loop's issue
+// sequence exactly. Policies with time-anchored internal state (STFM's
+// slowdown windows, ATLAS/TCM quanta) must not implement it (or return
+// false): the kernel then falls back to ticking the controller every cycle
+// while requests are queued.
+type IdleSkipSafeScheduler interface {
+	IdleSkipSafe() bool
+}
+
+// schedIdleSkipSafe reports whether s opted into idle-span skipping.
+func schedIdleSkipSafe(s Scheduler) bool {
+	m, ok := s.(IdleSkipSafeScheduler)
+	return ok && m.IdleSkipSafe()
+}
+
 // issuableHead returns app a's oldest entry if its bank is ready, else nil.
 func issuableHead(c *Controller, dev *dram.Device, a int, now int64) *Entry {
 	e := c.queues[a].peek()
@@ -45,6 +65,9 @@ func NewFCFS() *FCFS { return &FCFS{} }
 func (*FCFS) Name() string   { return "FCFS" }
 func (*FCFS) HeadOnly() bool { return true }
 func (*FCFS) OnIssue(*Entry) {}
+
+// IdleSkipSafe: Pick is a pure function of queue and bank state.
+func (*FCFS) IdleSkipSafe() bool { return true }
 
 func (*FCFS) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	var best *Entry
@@ -78,6 +101,9 @@ func NewFRFCFS(depth int) *FRFCFS { return &FRFCFS{MaxScanDepth: depth} }
 func (*FRFCFS) Name() string   { return "FR-FCFS" }
 func (*FRFCFS) HeadOnly() bool { return false }
 func (*FRFCFS) OnIssue(*Entry) {}
+
+// IdleSkipSafe: Pick is a pure function of queue, bank and row state.
+func (*FRFCFS) IdleSkipSafe() bool { return true }
 
 func (s *FRFCFS) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	var bestHit, bestOld Pick
@@ -176,6 +202,9 @@ func (s *StartTimeFair) Shares() []float64 {
 func (*StartTimeFair) Name() string   { return "StartTimeFair" }
 func (*StartTimeFair) HeadOnly() bool { return true }
 
+// IdleSkipSafe: tags advance only on issue, never with wall-clock cycles.
+func (*StartTimeFair) IdleSkipSafe() bool { return true }
+
 func (s *StartTimeFair) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	var best *Entry
 	var bestTag float64
@@ -230,6 +259,9 @@ func NewPriority(order []int) (*Priority, error) {
 func (*Priority) Name() string   { return "Priority" }
 func (*Priority) HeadOnly() bool { return true }
 func (*Priority) OnIssue(*Entry) {}
+
+// IdleSkipSafe: the rank permutation is fixed; Pick is pure.
+func (*Priority) IdleSkipSafe() bool { return true }
 
 func (p *Priority) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	var best *Entry

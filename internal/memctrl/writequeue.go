@@ -44,6 +44,12 @@ func (w *WriteDrain) HeadOnly() bool { return false }
 
 func (w *WriteDrain) OnIssue(e *Entry) { w.inner.OnIssue(e) }
 
+// IdleSkipSafe defers to the inner policy: the drain hysteresis depends
+// only on the queued read/write counts, which are frozen across an idle
+// span, so the draining flag settles to the same value whether Pick runs
+// every span cycle or once at the wake cycle.
+func (w *WriteDrain) IdleSkipSafe() bool { return schedIdleSkipSafe(w.inner) }
+
 // classCounts tallies queued reads and writes.
 func classCounts(c *Controller) (reads, writes int) {
 	for a := range c.queues {

@@ -137,6 +137,43 @@ func (c *Collector) RecordQueueDepth(depth int) {
 	c.mu.Unlock()
 }
 
+// QueueDepthSource is anything that can report per-application memory
+// controller queue depths into a caller-owned buffer (sim.System and
+// memctrl.Controller both qualify).
+type QueueDepthSource interface {
+	QueueDepthsInto(buf []int) []int
+}
+
+// QueueSampler repeatedly samples a QueueDepthSource into a Collector
+// without allocating on the sampling path: the per-app depth buffer is
+// owned by the sampler and reused across Sample calls. A sampler built
+// from a nil Collector is a valid no-op.
+type QueueSampler struct {
+	col *Collector
+	src QueueDepthSource
+	buf []int
+}
+
+// NewQueueSampler binds a depth source to the collector. The returned
+// sampler is not safe for concurrent use; give each worker its own.
+func (c *Collector) NewQueueSampler(src QueueDepthSource) *QueueSampler {
+	return &QueueSampler{col: c, src: src}
+}
+
+// Sample reads the current per-app queue depths and records their total
+// (the controller's pending count) without heap allocation.
+func (s *QueueSampler) Sample() {
+	if s == nil || s.col == nil || s.src == nil {
+		return
+	}
+	s.buf = s.src.QueueDepthsInto(s.buf)
+	total := 0
+	for _, d := range s.buf {
+		total += d
+	}
+	s.col.RecordQueueDepth(total)
+}
+
 // JobCounters is the job-level slice of a Snapshot.
 type JobCounters struct {
 	Total    int64 `json:"total"`

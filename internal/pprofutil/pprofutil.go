@@ -1,0 +1,87 @@
+// Package pprofutil wires Go's runtime profilers into command-line tools:
+// one Start call opens the requested CPU and heap profile outputs, and one
+// idempotent Stop flushes them. Commands route their fatal-error paths
+// through Stop so profiles survive early exits (log.Fatal skips deferred
+// calls, which would otherwise truncate the CPU profile to garbage).
+package pprofutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Profiler owns the profile outputs of one process run. The zero value and
+// the nil pointer are valid no-ops, so callers can hold one unconditionally.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+	once    sync.Once
+	stopErr error
+}
+
+// Start begins CPU profiling to cpuPath and schedules a heap profile to
+// memPath at Stop time. Either path may be empty to skip that profile; with
+// both empty the returned Profiler is a pure no-op.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("pprofutil: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pprofutil: start cpu profile: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop flushes and closes every profile opened by Start. It is safe to call
+// from multiple paths (normal exit and fatal-error exits): only the first
+// call does the work, and every call returns that first outcome.
+func (p *Profiler) Stop() error {
+	if p == nil {
+		return nil
+	}
+	p.once.Do(func() { p.stopErr = p.stop() })
+	return p.stopErr
+}
+
+func (p *Profiler) stop() error {
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = fmt.Errorf("pprofutil: close cpu profile: %w", err)
+		}
+	}
+	if p.memPath != "" {
+		if err := p.writeHeap(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// writeHeap materializes up-to-date allocation statistics and writes the
+// heap profile.
+func (p *Profiler) writeHeap() error {
+	f, err := os.Create(p.memPath)
+	if err != nil {
+		return fmt.Errorf("pprofutil: %w", err)
+	}
+	runtime.GC() // flush pending frees so live-heap numbers are current
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("pprofutil: write heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("pprofutil: close heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package pprofutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartStopWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	p, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to record.
+	sink := make([]byte, 0, 1<<16)
+	for i := 0; i < 1<<16; i++ {
+		sink = append(sink, byte(i))
+	}
+	_ = sink
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+	// Stop is idempotent: repeat calls return the first outcome.
+	if err := p.Stop(); err != nil {
+		t.Errorf("second Stop: %v", err)
+	}
+}
+
+func TestNoOpProfiler(t *testing.T) {
+	p, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Errorf("no-op Stop: %v", err)
+	}
+	var nilProf *Profiler
+	if err := nilProf.Stop(); err != nil {
+		t.Errorf("nil Stop: %v", err)
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.pprof"), ""); err == nil {
+		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+}

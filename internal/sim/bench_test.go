@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+
+	"bwpart/internal/workload"
+)
+
+// idleHeavyProfile is a latency-bound, low-MLP workload in the shape of a
+// pointer chase (mcf-like): dispatch is fast and every cold load stalls
+// the core for a full DRAM round trip with nothing else to do — the
+// memory-bound phase shape where most simulated cycles are dead and the
+// cycle-skipping kernel pays off most.
+func idleHeavyProfile() workload.Profile {
+	return workload.Profile{
+		Name:         "idle-heavy",
+		MemRefsPerKI: 100,
+		ColdPerKI:    50,
+		WriteFrac:    0,
+		SeqFrac:      0,
+		BaseIPC:      4.0,
+		MLP:          1,
+	}
+}
+
+// benchSystem assembles and settles a benchmark system outside the timer.
+func benchSystem(b *testing.B, kernel Kernel, profs []workload.Profile) *System {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.WarmupInstructions = 50_000
+	cfg.Kernel = kernel
+	sys, err := New(cfg, profs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Warmup()
+	sys.Run(50_000)
+	sys.ResetStats()
+	return sys
+}
+
+func benchRun(b *testing.B, kernel Kernel, profs []workload.Profile) {
+	sys := benchSystem(b, kernel, profs)
+	const window = 200_000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Run(window)
+	}
+	b.ReportMetric(float64(window*int64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+}
+
+// BenchmarkRunIdle measures System.Run on an idle-heavy (latency-bound)
+// mix under both kernels; the skipping kernel's acceptance bar is a >= 2x
+// speedup here.
+func BenchmarkRunIdle(b *testing.B) {
+	profs := []workload.Profile{idleHeavyProfile(), idleHeavyProfile()}
+	b.Run("naive", func(b *testing.B) { benchRun(b, KernelNaive, profs) })
+	b.Run("skip", func(b *testing.B) { benchRun(b, KernelCycleSkipping, profs) })
+}
+
+// BenchmarkRunSaturated measures System.Run on a bandwidth-saturated mix
+// (four streaming lbm instances): completions land every burst, spans are
+// short, and the skipping kernel must not regress materially.
+func BenchmarkRunSaturated(b *testing.B) {
+	lbm, err := workload.ByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	profs := []workload.Profile{lbm, lbm, lbm, lbm}
+	b.Run("naive", func(b *testing.B) { benchRun(b, KernelNaive, profs) })
+	b.Run("skip", func(b *testing.B) { benchRun(b, KernelCycleSkipping, profs) })
+}

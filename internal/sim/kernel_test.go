@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bwpart/internal/memctrl"
+	"bwpart/internal/workload"
+)
+
+// traceRec is one off-chip access observation for kernel comparison.
+type traceRec struct {
+	cycle int64
+	app   int
+	addr  uint64
+	write bool
+}
+
+// runKernel builds a system under the given kernel, applies mutate (e.g. a
+// scheduler swap), runs settle+measure, and returns the windowed result
+// plus the full issue trace.
+func runKernel(t *testing.T, kernel Kernel, shared bool, names []string,
+	mutate func(*System) error) (Result, []traceRec) {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.Kernel = kernel
+	cfg.SharedL2 = shared
+	sys, err := New(cfg, mustProfiles(t, names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	if mutate != nil {
+		if err := mutate(sys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var trace []traceRec
+	sys.Controller().SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+		trace = append(trace, traceRec{cycle, app, addr, write})
+	})
+	sys.Run(40_000)
+	sys.ResetStats()
+	sys.Run(120_000)
+	return sys.Results(), trace
+}
+
+// TestKernelsBitIdentical is the sim-level differential check: the
+// cycle-skipping kernel must reproduce the naive loop's Result struct and
+// off-chip access trace bit for bit, in both topologies.
+func TestKernelsBitIdentical(t *testing.T) {
+	names := []string{"lbm", "gromacs", "milc", "povray"}
+	for _, shared := range []bool{false, true} {
+		naive, ntrace := runKernel(t, KernelNaive, shared, names, nil)
+		skip, strace := runKernel(t, KernelCycleSkipping, shared, names, nil)
+		if !reflect.DeepEqual(naive, skip) {
+			t.Errorf("sharedL2=%v: results diverge\nnaive: %+v\nskip:  %+v", shared, naive, skip)
+		}
+		if !reflect.DeepEqual(ntrace, strace) {
+			t.Errorf("sharedL2=%v: traces diverge (naive %d records, skip %d)",
+				shared, len(ntrace), len(strace))
+		}
+	}
+}
+
+// TestKernelsBitIdenticalSingleApp covers the alone-profiling path, where
+// idle spans are longest and interference must stay exactly zero.
+func TestKernelsBitIdenticalSingleApp(t *testing.T) {
+	naive, ntrace := runKernel(t, KernelNaive, false, []string{"omnetpp"}, nil)
+	skip, strace := runKernel(t, KernelCycleSkipping, false, []string{"omnetpp"}, nil)
+	if !reflect.DeepEqual(naive, skip) {
+		t.Errorf("results diverge\nnaive: %+v\nskip:  %+v", naive, skip)
+	}
+	if !reflect.DeepEqual(ntrace, strace) {
+		t.Errorf("traces diverge (naive %d records, skip %d)", len(ntrace), len(strace))
+	}
+	if skip.Apps[0].InterferenceCycles != 0 {
+		t.Errorf("alone app saw interference: %d", skip.Apps[0].InterferenceCycles)
+	}
+}
+
+// TestKernelUnsafeSchedulerFallsBack ensures a scheduler without the
+// IdleSkipSafe marker still produces naive-identical results under the
+// skipping kernel (the controller refuses quiescence while requests are
+// queued, degrading to per-cycle ticking only where it must).
+func TestKernelUnsafeSchedulerFallsBack(t *testing.T) {
+	names := []string{"lbm", "soplex"}
+	install := func(sys *System) error {
+		stfm, err := memctrl.NewSTFM(sys.NumApps(), 1.10)
+		if err != nil {
+			return err
+		}
+		return sys.Controller().SetScheduler(stfm)
+	}
+	naive, ntrace := runKernel(t, KernelNaive, false, names, install)
+	skip, strace := runKernel(t, KernelCycleSkipping, false, names, install)
+	if !reflect.DeepEqual(naive, skip) {
+		t.Errorf("results diverge under STFM\nnaive: %+v\nskip:  %+v", naive, skip)
+	}
+	if !reflect.DeepEqual(ntrace, strace) {
+		t.Errorf("traces diverge under STFM (naive %d, skip %d)", len(ntrace), len(strace))
+	}
+}
+
+// TestKernelPhasedWorkload pins the dynamic-stream path: skips must never
+// cross a core's parameter-refresh boundary, so phased workloads stay
+// bit-identical too.
+func TestKernelPhasedWorkload(t *testing.T) {
+	mkSpecs := func(seed int64) []AppSpec {
+		lbm, _ := workload.ByName("lbm")
+		povray, _ := workload.ByName("povray")
+		gen, err := workload.NewPhasedGenerator([]workload.Phase{
+			{Profile: lbm, Instructions: 30_000},
+			{Profile: povray, Instructions: 30_000},
+		}, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := fastCfg().Core
+		core.BaseIPC = lbm.BaseIPC
+		core.MaxOutstandingLoads = lbm.MLP
+		return []AppSpec{{Name: "phased", Core: core, Stream: gen}}
+	}
+	run := func(kernel Kernel) Result {
+		cfg := fastCfg()
+		cfg.Kernel = kernel
+		sys, err := NewFromSpecs(cfg, mkSpecs(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(20_000)
+		sys.ResetStats()
+		sys.Run(150_000)
+		return sys.Results()
+	}
+	naive, skip := run(KernelNaive), run(KernelCycleSkipping)
+	if !reflect.DeepEqual(naive, skip) {
+		t.Errorf("phased results diverge\nnaive: %+v\nskip:  %+v", naive, skip)
+	}
+}

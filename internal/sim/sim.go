@@ -16,6 +16,40 @@ import (
 	"bwpart/internal/workload"
 )
 
+// Kernel selects how System.Run advances simulated time.
+type Kernel int
+
+const (
+	// KernelCycleSkipping (the default) ticks every component each cycle
+	// but, whenever all components report quiescence, leaps directly to the
+	// minimum next-event cycle, integrating per-cycle statistics
+	// (interference accounting, stall counters) over the skipped span. It
+	// is bit-identical to KernelNaive — the differential tests in this
+	// package and internal/exper enforce that — and multiple times faster
+	// on memory-bound phases where most cycles are dead.
+	KernelCycleSkipping Kernel = iota
+	// KernelNaive ticks every component once per simulated cycle. It is
+	// the reference semantics, kept for differential testing and as the
+	// fallback a study can force when using schedulers with time-anchored
+	// state (those fall back automatically; see
+	// memctrl.IdleSkipSafeScheduler).
+	KernelNaive
+)
+
+// component is the tickable simulation unit System.Run drives: cores,
+// caches, and the memory controller. NextEventCycle(now) reports, after the
+// component ticked at cycle now, whether it is quiescent and the next cycle
+// (> now) at which it can make progress on its own; math.MaxInt64 means
+// "only external events wake me". SkipIdle(from, to) applies the integrable
+// per-cycle effects of the span [from, to) in closed form; the kernel only
+// calls it when every component reported quiescence, so results stay
+// bit-identical to naive ticking.
+type component interface {
+	Tick(now int64)
+	NextEventCycle(now int64) (next int64, quiescent bool)
+	SkipIdle(from, to int64)
+}
+
 // Config describes a full system.
 type Config struct {
 	DRAM dram.Config
@@ -41,6 +75,9 @@ type Config struct {
 	// timed phase (the paper uses 500M in atomic mode; scaled down here).
 	WarmupInstructions int64
 	Seed               int64
+	// Kernel selects Run's advancement strategy; the zero value is the
+	// cycle-skipping kernel. See Kernel.
+	Kernel Kernel
 }
 
 // DefaultConfig returns the paper's baseline system (Table II): four-core
@@ -67,7 +104,14 @@ type System struct {
 	l2s      []*cache.Cache     // private-L2 topology (nil entries when shared)
 	sharedL2 *cache.SharedCache // shared-L2 topology (nil when private)
 	cores    []*cpu.Core
-	now      int64
+	// comps is every tickable unit in the exact per-cycle order the
+	// topology requires (controller first, then caches bottom-up, then the
+	// core, per application); Run drives this one list for both topologies
+	// and both kernels.
+	comps []component
+	now   int64
+	// statsBuf is the reused controller-stats snapshot buffer for Results.
+	statsBuf []memctrl.AppStats
 	// statsStart marks the cycle ResetStats was last called, for APC rates.
 	statsStart int64
 	// busBusyAtReset snapshots cumulative bus-busy cycles at ResetStats so
@@ -127,27 +171,71 @@ func (s *System) Warmup() {
 	}
 }
 
-// Run advances the system by the given number of cycles.
+// Run advances the system by the given number of cycles under the
+// configured kernel. Both kernels drive the same component list in the same
+// per-cycle order; the cycle-skipping kernel additionally leaps over spans
+// in which every component is quiescent, applying the spans' per-cycle
+// statistics in closed form, so its results are bit-identical to the naive
+// loop's.
 func (s *System) Run(cycles int64) {
 	end := s.now + cycles
-	if s.sharedL2 != nil {
+	if s.cfg.Kernel == KernelNaive {
 		for ; s.now < end; s.now++ {
-			s.ctrl.Tick(s.now)
-			s.sharedL2.Tick(s.now)
-			for i := range s.cores {
-				s.l1s[i].Tick(s.now)
-				s.cores[i].Tick(s.now)
+			for _, c := range s.comps {
+				c.Tick(s.now)
 			}
 		}
 		return
 	}
-	for ; s.now < end; s.now++ {
-		s.ctrl.Tick(s.now)
-		for i := range s.cores {
-			s.l2s[i].Tick(s.now)
-			s.l1s[i].Tick(s.now)
-			s.cores[i].Tick(s.now)
+	// Probe backoff: in busy phases (bandwidth-saturated mixes) the
+	// quiescence sweep fails nearly every cycle, and its cost — notably the
+	// controller's queue scan — would be pure overhead on top of the naive
+	// loop. After a failed probe the sweep is suspended for a geometrically
+	// growing number of cycles (capped), which bounds the overhead at a few
+	// percent of one sweep per cycle while delaying skip onset by at most
+	// probeGap ticks. Delayed probes only trade skipped cycles for ticked
+	// ones, so simulated state is unaffected.
+	const maxProbeGap = 32
+	probeGap := int64(1)
+	var nextProbe int64
+	for s.now < end {
+		for _, c := range s.comps {
+			c.Tick(s.now)
 		}
+		s.now++
+		if s.now >= end {
+			return
+		}
+		if s.now < nextProbe {
+			continue
+		}
+		// Quiescence sweep over the cycle just ticked, in reverse component
+		// order: cores first (cheapest check, most often busy) with early
+		// exit, the controller's queue scan last.
+		target := end
+		quiescent := true
+		for i := len(s.comps) - 1; i >= 0; i-- {
+			next, q := s.comps[i].NextEventCycle(s.now - 1)
+			if !q {
+				quiescent = false
+				break
+			}
+			if next < target {
+				target = next
+			}
+		}
+		if !quiescent || target <= s.now {
+			nextProbe = s.now + probeGap
+			if probeGap < maxProbeGap {
+				probeGap *= 2
+			}
+			continue
+		}
+		probeGap = 1
+		for _, c := range s.comps {
+			c.SkipIdle(s.now, target)
+		}
+		s.now = target
 	}
 }
 
@@ -158,6 +246,10 @@ func (s *System) SharedL2() *cache.SharedCache { return s.sharedL2 }
 // memctrl.Controller.QueueDepths); total pending is available via
 // Controller().Pending().
 func (s *System) QueueDepths() []int { return s.ctrl.QueueDepths() }
+
+// QueueDepthsInto appends the per-app queue depths to buf[:0] and returns
+// it — the allocation-free form periodic samplers (internal/obs) use.
+func (s *System) QueueDepthsInto(buf []int) []int { return s.ctrl.QueueDepthsInto(buf) }
 
 // ResetStats zeroes every measurement counter; microarchitectural and
 // scheduler state persist, so a measurement window starts from warm state.
@@ -213,7 +305,8 @@ type Result struct {
 func (s *System) Results() Result {
 	window := s.now - s.statsStart
 	res := Result{WindowCycles: window}
-	ctrlStats := s.ctrl.Stats()
+	s.statsBuf = s.ctrl.StatsInto(s.statsBuf)
+	ctrlStats := s.statsBuf
 	var totalAccesses int64
 	for i := range s.cores {
 		cs := s.cores[i].Stats()

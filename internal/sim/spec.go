@@ -43,6 +43,7 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 		return nil, err
 	}
 	s := &System{cfg: cfg, dev: dev, ctrl: ctrl}
+	s.comps = append(s.comps, ctrl)
 	if cfg.SharedL2 {
 		quota := cfg.L2WayQuota
 		if quota == nil {
@@ -65,6 +66,7 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 			return nil, fmt.Errorf("sim: shared L2: %w", err)
 		}
 		s.sharedL2 = shared
+		s.comps = append(s.comps, shared)
 	}
 	for i, spec := range specs {
 		if spec.Stream == nil {
@@ -96,6 +98,12 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 		s.l1s = append(s.l1s, l1)
 		s.cores = append(s.cores, core)
 		s.specs = append(s.specs, spec)
+		// Tick order within an application: lower levels first so fills
+		// land before the core's same-cycle retire/dispatch sees them.
+		if l2 != nil {
+			s.comps = append(s.comps, l2)
+		}
+		s.comps = append(s.comps, l1, core)
 	}
 	return s, nil
 }

@@ -1,0 +1,176 @@
+// Command benchjson converts `go test -bench` text output into a machine
+// readable JSON report. It reads benchmark lines from stdin (or a file via
+// -i), groups repeated -count runs per benchmark, and derives the kernel
+// speedup figures the performance harness tracks:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x -count 3 ./... > bench.out
+//	benchjson -i bench.out -o BENCH_kernel.json
+//
+// Speedups are computed from each benchmark's best (minimum) ns/op across
+// runs, the standard way to suppress scheduling noise in short benchmarks.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// runLine matches one benchmark result line, e.g.
+//
+//	BenchmarkRunIdle/naive-8  2  8548566 ns/op  23399069 cycles/s  846472 B/op  26695 allocs/op
+var runLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// metricField matches one trailing "value unit" metric pair.
+var metricField = regexp.MustCompile(`([\d.]+) ([^\s]+)`)
+
+// Run is one benchmark execution (one line of -count output).
+type Run struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Bench aggregates every run of one benchmark name.
+type Bench struct {
+	Name    string  `json:"name"`
+	Runs    []Run   `json:"runs"`
+	MinNsOp float64 `json:"min_ns_per_op"`
+}
+
+// Report is the JSON document: raw per-benchmark data plus the derived
+// kernel acceptance figures.
+type Report struct {
+	Benchmarks []Bench            `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	inPath := flag.String("i", "", "read benchmark output from this file (default stdin)")
+	outPath := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := parse(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(raw)
+		return
+	}
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parse consumes go-test benchmark output and builds the report.
+func parse(r io.Reader) (*Report, error) {
+	byName := map[string]*Bench{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := runLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		run := Run{Iterations: iters, NsPerOp: ns}
+		for _, f := range metricField.FindAllStringSubmatch(m[4], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				run.BytesPerOp = ptr(v)
+			case "allocs/op":
+				run.AllocsPerOp = ptr(v)
+			}
+		}
+		b := byName[m[1]]
+		if b == nil {
+			b = &Bench{Name: m[1], MinNsOp: ns}
+			byName[m[1]] = b
+			order = append(order, m[1])
+		}
+		b.Runs = append(b.Runs, run)
+		if ns < b.MinNsOp {
+			b.MinNsOp = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	rep := &Report{Derived: map[string]float64{}}
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, *byName[name])
+	}
+	derive(rep, byName)
+	return rep, nil
+}
+
+// derive computes the acceptance figures when the relevant benchmarks are
+// present: naive/skip speedups for the System.Run mixes and the event-queue
+// allocation count.
+func derive(rep *Report, byName map[string]*Bench) {
+	speedup := func(key, naive, skip string) {
+		n, s := byName[naive], byName[skip]
+		if n == nil || s == nil || s.MinNsOp == 0 {
+			return
+		}
+		rep.Derived[key] = n.MinNsOp / s.MinNsOp
+	}
+	speedup("idle_speedup", "BenchmarkRunIdle/naive", "BenchmarkRunIdle/skip")
+	speedup("saturated_speedup", "BenchmarkRunSaturated/naive", "BenchmarkRunSaturated/skip")
+	if q := byName["BenchmarkQueueSchedule"]; q != nil {
+		worst := 0.0
+		for _, r := range q.Runs {
+			if r.AllocsPerOp != nil && *r.AllocsPerOp > worst {
+				worst = *r.AllocsPerOp
+			}
+		}
+		rep.Derived["event_queue_allocs_per_op"] = worst
+	}
+	// Deterministic key order is json.Marshal's default for maps; sort the
+	// benchmark list too in case input interleaves packages.
+	sort.SliceStable(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: bwpart/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRunIdle/naive-8         	       1	   8548566 ns/op	  23399069 cycles/s	  846472 B/op	   26695 allocs/op
+BenchmarkRunIdle/naive-8         	       1	   8600000 ns/op	  23000000 cycles/s	  846472 B/op	   26695 allocs/op
+BenchmarkRunIdle/skip-8          	       1	   2580496 ns/op	  77530408 cycles/s	  846472 B/op	   26695 allocs/op
+BenchmarkRunSaturated/naive-8    	       1	  56430135 ns/op	   3544287 cycles/s	29318000 B/op	  917612 allocs/op
+BenchmarkRunSaturated/skip-8     	       1	  58996341 ns/op	   3390104 cycles/s	29318304 B/op	  917613 allocs/op
+BenchmarkQueueSchedule-8         	     100	      4000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	bwpart/internal/sim	0.478s
+`
+
+func TestParseDerivesSpeedups(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Benchmarks); got != 5 {
+		t.Fatalf("want 5 benchmarks, got %d", got)
+	}
+	idle := rep.Derived["idle_speedup"]
+	if want := 8548566.0 / 2580496.0; idle < want-1e-9 || idle > want+1e-9 {
+		t.Errorf("idle_speedup = %v, want %v (from min ns/op)", idle, want)
+	}
+	if _, ok := rep.Derived["saturated_speedup"]; !ok {
+		t.Error("missing saturated_speedup")
+	}
+	if got := rep.Derived["event_queue_allocs_per_op"]; got != 0 {
+		t.Errorf("event_queue_allocs_per_op = %v, want 0", got)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name == "BenchmarkRunIdle/naive" {
+			if len(b.Runs) != 2 {
+				t.Errorf("naive runs = %d, want 2 (grouped by -count)", len(b.Runs))
+			}
+			if b.MinNsOp != 8548566 {
+				t.Errorf("naive MinNsOp = %v, want the smaller run", b.MinNsOp)
+			}
+		}
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("expected error on input with no benchmark lines")
+	}
+}
