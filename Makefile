@@ -1,12 +1,24 @@
 # Development targets. `make check` is the PR gate: vet, build, the full
 # test suite, a race-detector pass over the concurrent packages (the
 # experiment engine, its observability collector, and the memory
-# controller), and a compile of every benchmark. `make bench` runs the
-# kernel performance benchmarks and renders BENCH_kernel.json.
+# controller — including the indexed issue path and its differential
+# tests), and a compile of every benchmark. `make bench` refreshes the
+# committed benchmark reports (BENCH_kernel.json, BENCH_memctrl.json);
+# `make bench-check` re-runs the benchmarks and fails if any regressed
+# beyond the tolerance against those committed reports — run it alongside
+# `make check` before sending a performance-sensitive PR.
 
 GO ?= go
 
-.PHONY: check vet build test race benchbuild bench
+# Allowed per-benchmark slowdown (percent) for bench-check. Generous because
+# the committed baselines may come from a different machine; the gate exists
+# to catch structural regressions (e.g. losing an index), not scheduling
+# jitter. Pick benchmarks sit in the tens of
+# nanoseconds, where shared-host scheduling noise alone swings results
+# by double-digit percentages; structural regressions are 5-10x cliffs.
+BENCH_TOLERANCE ?= 50
+
+.PHONY: check vet build test race benchbuild bench bench-check
 
 check: vet build test race benchbuild
 
@@ -30,10 +42,23 @@ benchbuild:
 
 # bench runs the simulation-kernel and event-queue benchmarks (3 repeats of
 # one iteration each) and condenses them into BENCH_kernel.json with the
-# derived naive-vs-skip speedups. Two steps rather than a pipe so a failing
-# bench run fails the target.
+# derived naive-vs-skip speedups, then does the same for the memory
+# controller's pick/issue benchmarks into BENCH_memctrl.json. Two steps
+# rather than a pipe so a failing bench run fails the target.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 ./internal/sim ./internal/event > bench.out
 	$(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
-	@rm -f bench.out
-	@cat BENCH_kernel.json
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
+	$(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
+	@rm -f bench.out bench_memctrl.out
+	@cat BENCH_kernel.json BENCH_memctrl.json
+
+# bench-check is the performance regression gate: re-run both benchmark
+# suites and compare each result against the committed reports, failing on
+# any slowdown beyond BENCH_TOLERANCE percent (improvements always pass).
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 ./internal/sim ./internal/event > bench.out
+	$(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
+	$(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	@rm -f bench.out bench_memctrl.out

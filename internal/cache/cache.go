@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 
-	"bwpart/internal/event"
 	"bwpart/internal/mem"
 )
 
@@ -70,10 +69,22 @@ type line struct {
 }
 
 // mshr tracks one outstanding miss line and the requests merged into it.
+// MSHRs are pooled: each embeds its fill request and the fill completion
+// closure (built once, reading m.la at call time), so a miss allocates
+// nothing in steady state. The registering cache recycles the mshr at the
+// end of fill — the last point anything references it.
 type mshr struct {
 	write    bool // any merged request was a write (line installs dirty)
 	prefetch bool // initiated by the prefetcher, no demand waiter yet
-	waiters  []*mem.Request
+	// hasWaiter/wbApp track the first merged request's app for dirty-victim
+	// writeback attribution (posted stores merge without staying in
+	// waiters, so len(waiters) cannot stand in for "was ever demanded").
+	hasWaiter bool
+	wbApp     int
+	app       int    // app that registered the miss (shared-cache MSHR accounting)
+	la        uint64 // line address being filled
+	fillReq   mem.Request
+	waiters   []*mem.Request
 }
 
 // Stats counts cache events.
@@ -95,9 +106,11 @@ type Cache struct {
 	sets     [][]line
 	setMask  uint64
 	lower    mem.Port
-	events   event.Queue
+	events   cacheEvents
 	mshrs    map[uint64]*mshr // keyed by line address
-	deferred []*mem.Request   // lower-level requests rejected, to retry
+	mshrFree []*mshr          // recycled MSHRs (see mshr)
+	wbs      wbPool
+	deferred []*mem.Request // lower-level requests rejected, to retry
 	lruTick  uint64
 	stats    Stats
 }
@@ -170,15 +183,22 @@ func (c *Cache) Access(now int64, req *mem.Request) bool {
 		}
 		c.stats.Hits++
 		if req.Done != nil {
-			done := req.Done
-			c.events.At(now+c.cfg.HitLatency, func() { done(now + c.cfg.HitLatency) })
+			c.events.scheduleDone(now+c.cfg.HitLatency, req.Done)
 		}
 		return true
 	}
 
-	// Miss: merge into an outstanding fill when possible.
+	// Miss: merge into an outstanding fill when possible. Requests without
+	// a completion callback (posted stores) fold into the MSHR's state but
+	// are not retained — callers may reuse their memory once Access returns.
 	if m, ok := c.mshrs[la]; ok {
-		m.waiters = append(m.waiters, req)
+		if req.Done != nil {
+			m.waiters = append(m.waiters, req)
+		}
+		if !m.hasWaiter {
+			m.hasWaiter = true
+			m.wbApp = req.App
+		}
 		if req.Write {
 			m.write = true
 		}
@@ -195,21 +215,39 @@ func (c *Cache) Access(now int64, req *mem.Request) bool {
 		c.stats.Rejects++
 		return false
 	}
-	m := &mshr{write: req.Write, waiters: []*mem.Request{req}}
+	m := c.newMSHR(la, req.App)
+	m.write = req.Write
+	m.hasWaiter = true
+	m.wbApp = req.App
+	if req.Done != nil {
+		m.waiters = append(m.waiters, req)
+	}
 	c.mshrs[la] = m
 	c.stats.Misses++
 
-	fillAddr := la * uint64(c.cfg.LineBytes)
-	app := req.App
-	fill := &mem.Request{
-		App:  app,
-		Addr: fillAddr,
-		Done: func(cycle int64) { c.fill(cycle, la) },
-	}
 	// The tag lookup takes HitLatency before the miss can go out.
-	c.events.At(now+c.cfg.HitLatency, func() { c.sendLower(now+c.cfg.HitLatency, fill) })
-	c.prefetchAfterMiss(now, la, app)
+	c.events.scheduleSend(now+c.cfg.HitLatency, &m.fillReq)
+	c.prefetchAfterMiss(now, la, req.App)
 	return true
+}
+
+// newMSHR takes a recycled MSHR (or builds one with its fill closure) and
+// primes it for line la on behalf of app.
+func (c *Cache) newMSHR(la uint64, app int) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		m.write, m.prefetch, m.hasWaiter, m.wbApp = false, false, false, 0
+	} else {
+		m = &mshr{}
+		m.fillReq.Done = func(cycle int64) { c.fill(cycle, m) }
+	}
+	m.la = la
+	m.app = app
+	m.fillReq.App = app
+	m.fillReq.Addr = la * uint64(c.cfg.LineBytes)
+	return m
 }
 
 // prefetchAfterMiss issues next-line prefetches for the lines following a
@@ -226,15 +264,11 @@ func (c *Cache) prefetchAfterMiss(now int64, la uint64, app int) {
 		if _, ok := c.mshrs[pl]; ok {
 			continue
 		}
-		target := pl
-		c.mshrs[target] = &mshr{prefetch: true}
+		m := c.newMSHR(pl, app)
+		m.prefetch = true
+		c.mshrs[pl] = m
 		c.stats.Prefetches++
-		fill := &mem.Request{
-			App:  app,
-			Addr: target * uint64(c.cfg.LineBytes),
-			Done: func(cycle int64) { c.fill(cycle, target) },
-		}
-		c.events.At(now+c.cfg.HitLatency, func() { c.sendLower(now+c.cfg.HitLatency, fill) })
+		c.events.scheduleSend(now+c.cfg.HitLatency, &m.fillReq)
 	}
 }
 
@@ -246,11 +280,11 @@ func (c *Cache) sendLower(now int64, req *mem.Request) {
 	}
 }
 
-// fill installs line la on miss completion, evicting (and writing back) a
-// victim, and wakes every merged waiter.
-func (c *Cache) fill(now int64, la uint64) {
-	m := c.mshrs[la]
-	if m == nil {
+// fill installs m's line on miss completion, evicting (and writing back) a
+// victim, wakes every merged waiter, then recycles the MSHR.
+func (c *Cache) fill(now int64, m *mshr) {
+	la := m.la
+	if c.mshrs[la] != m {
 		panic(fmt.Sprintf("cache %s: fill without MSHR for line %#x", c.cfg.Name, la))
 	}
 	delete(c.mshrs, la)
@@ -269,25 +303,17 @@ func (c *Cache) fill(now int64, la uint64) {
 	v := &set[victim]
 	if v.valid && v.dirty {
 		c.stats.Writebacks++
-		wbApp := 0
-		if len(m.waiters) > 0 {
-			wbApp = m.waiters[0].App
-		}
-		wb := &mem.Request{
-			App:   wbApp,
-			Addr:  c.victimAddr(v.tag),
-			Write: true,
-		}
-		c.sendLower(now, wb)
+		c.sendLower(now, c.wbs.get(m.wbApp, c.victimAddr(v.tag)))
 	}
 	c.lruTick++
 	*v = line{tag: c.tag(la), valid: true, dirty: m.write, prefetched: m.prefetch, used: c.lruTick}
 
-	for _, req := range m.waiters {
-		if req.Done != nil {
-			req.Done(now)
-		}
+	for i, req := range m.waiters {
+		req.Done(now)
+		m.waiters[i] = nil
 	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // victimAddr reconstructs the byte address of an evicted line from its tag.
@@ -298,7 +324,7 @@ func (c *Cache) victimAddr(tag uint64) uint64 {
 // Tick runs due events (hit callbacks, delayed miss sends) and retries
 // deferred lower-level requests.
 func (c *Cache) Tick(now int64) {
-	c.events.RunUntil(now)
+	c.runEvents(now)
 	if len(c.deferred) == 0 {
 		return
 	}
@@ -322,10 +348,22 @@ func (c *Cache) NextEventCycle(now int64) (int64, bool) {
 	if len(c.deferred) > 0 {
 		return 0, false
 	}
-	if next, ok := c.events.NextCycle(); ok {
+	if next, ok := c.events.next(); ok {
 		return next, true
 	}
 	return math.MaxInt64, true
+}
+
+// runEvents dispatches every due event in (cycle, seq) order.
+func (c *Cache) runEvents(now int64) {
+	for len(c.events.h) > 0 && c.events.h[0].cycle <= now {
+		ev := c.events.h.Pop()
+		if ev.done != nil {
+			ev.done(ev.cycle)
+		} else {
+			c.sendLower(ev.cycle, ev.req)
+		}
+	}
 }
 
 // SkipIdle is a no-op: a quiescent cache's Tick has no per-cycle effects to

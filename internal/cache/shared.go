@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"bwpart/internal/event"
 	"bwpart/internal/mem"
 )
 
@@ -22,8 +21,10 @@ type SharedCache struct {
 	sets     [][]sline
 	setMask  uint64
 	lower    mem.Port
-	events   event.Queue
+	events   cacheEvents
 	mshrs    map[uint64]*mshr
+	mshrFree []*mshr
+	wbs      wbPool
 	deferred []*mem.Request
 	lruTick  uint64
 	stats    []Stats // per app
@@ -156,13 +157,16 @@ func (c *SharedCache) Access(now int64, req *mem.Request) bool {
 		}
 		c.stats[req.App].Hits++
 		if req.Done != nil {
-			done := req.Done
-			c.events.At(now+c.cfg.HitLatency, func() { done(now + c.cfg.HitLatency) })
+			c.events.scheduleDone(now+c.cfg.HitLatency, req.Done)
 		}
 		return true
 	}
 	if m, ok := c.mshrs[la]; ok {
-		m.waiters = append(m.waiters, req)
+		// Posted stores (nil Done) fold into the MSHR without being
+		// retained; callers may reuse their memory once Access returns.
+		if req.Done != nil {
+			m.waiters = append(m.waiters, req)
+		}
 		if req.Write {
 			m.write = true
 		}
@@ -173,18 +177,35 @@ func (c *SharedCache) Access(now int64, req *mem.Request) bool {
 		c.stats[req.App].Rejects++
 		return false
 	}
-	m := &mshr{write: req.Write, waiters: []*mem.Request{req}}
+	m := c.newMSHR(la, req.App)
+	m.write = req.Write
+	if req.Done != nil {
+		m.waiters = append(m.waiters, req)
+	}
 	c.mshrs[la] = m
 	c.stats[req.App].Misses++
-	app := req.App
-	c.mshrByApp[app]++
-	fill := &mem.Request{
-		App:  app,
-		Addr: la * uint64(c.cfg.LineBytes),
-		Done: func(cycle int64) { c.fill(cycle, la, app) },
-	}
-	c.events.At(now+c.cfg.HitLatency, func() { c.sendLower(now+c.cfg.HitLatency, fill) })
+	c.mshrByApp[req.App]++
+	c.events.scheduleSend(now+c.cfg.HitLatency, &m.fillReq)
 	return true
+}
+
+// newMSHR takes a recycled MSHR (or builds one with its fill closure) and
+// primes it for line la on behalf of app.
+func (c *SharedCache) newMSHR(la uint64, app int) *mshr {
+	var m *mshr
+	if n := len(c.mshrFree); n > 0 {
+		m = c.mshrFree[n-1]
+		c.mshrFree = c.mshrFree[:n-1]
+		m.write, m.prefetch, m.hasWaiter, m.wbApp = false, false, false, 0
+	} else {
+		m = &mshr{}
+		m.fillReq.Done = func(cycle int64) { c.fill(cycle, m) }
+	}
+	m.la = la
+	m.app = app
+	m.fillReq.App = app
+	m.fillReq.Addr = la * uint64(c.cfg.LineBytes)
+	return m
 }
 
 func (c *SharedCache) sendLower(now int64, req *mem.Request) {
@@ -264,9 +285,9 @@ func (c *SharedCache) victimFor(set []sline, app int) int {
 	return victim
 }
 
-func (c *SharedCache) fill(now int64, la uint64, app int) {
-	m := c.mshrs[la]
-	if m == nil {
+func (c *SharedCache) fill(now int64, m *mshr) {
+	la, app := m.la, m.app
+	if c.mshrs[la] != m {
 		panic(fmt.Sprintf("cache %s: shared fill without MSHR for line %#x", c.cfg.Name, la))
 	}
 	delete(c.mshrs, la)
@@ -276,20 +297,21 @@ func (c *SharedCache) fill(now int64, la uint64, app int) {
 	v := &set[victim]
 	if v.valid && v.dirty {
 		c.stats[v.owner].Writebacks++
-		c.sendLower(now, &mem.Request{App: v.owner, Addr: v.tag * uint64(c.cfg.LineBytes), Write: true})
+		c.sendLower(now, c.wbs.get(v.owner, v.tag*uint64(c.cfg.LineBytes)))
 	}
 	c.lruTick++
 	*v = sline{tag: la, valid: true, dirty: m.write, owner: app, used: c.lruTick}
-	for _, req := range m.waiters {
-		if req.Done != nil {
-			req.Done(now)
-		}
+	for i, req := range m.waiters {
+		req.Done(now)
+		m.waiters[i] = nil
 	}
+	m.waiters = m.waiters[:0]
+	c.mshrFree = append(c.mshrFree, m)
 }
 
 // Tick runs due events and retries deferred lower-level sends.
 func (c *SharedCache) Tick(now int64) {
-	c.events.RunUntil(now)
+	c.runEvents(now)
 	if len(c.deferred) == 0 {
 		return
 	}
@@ -310,10 +332,22 @@ func (c *SharedCache) NextEventCycle(now int64) (int64, bool) {
 	if len(c.deferred) > 0 {
 		return 0, false
 	}
-	if next, ok := c.events.NextCycle(); ok {
+	if next, ok := c.events.next(); ok {
 		return next, true
 	}
 	return math.MaxInt64, true
+}
+
+// runEvents dispatches every due event in (cycle, seq) order.
+func (c *SharedCache) runEvents(now int64) {
+	for len(c.events.h) > 0 && c.events.h[0].cycle <= now {
+		ev := c.events.h.Pop()
+		if ev.done != nil {
+			ev.done(ev.cycle)
+		} else {
+			c.sendLower(ev.cycle, ev.req)
+		}
+	}
 }
 
 // SkipIdle is a no-op: a quiescent shared cache's Tick has no per-cycle

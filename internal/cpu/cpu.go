@@ -119,7 +119,24 @@ type Core struct {
 	pending    *Instr
 	pendingBuf Instr
 
+	// loadFree recycles load requests: each loadSlot owns a request and a
+	// completion closure built once, so issuing a load allocates nothing in
+	// steady state. A slot returns to the free list inside its own Done.
+	loadFree []*loadSlot
+	// storeReq is the reusable posted-store request. Stores have no
+	// completion callback and mem.Port implementations do not retain
+	// callback-free requests past Access, so one scratch request serves
+	// every store.
+	storeReq mem.Request
+
 	stats Stats
+}
+
+// loadSlot is one pooled in-flight load (request + ROB bookkeeping).
+type loadSlot struct {
+	req  mem.Request
+	slot int  // ROB slot completed by the fill
+	cold bool // counted against the MLP bound
 }
 
 // New builds a core for application app over the given L1 port and
@@ -141,6 +158,7 @@ func New(cfg Config, app int, l1 mem.Port, stream Stream) (*Core, error) {
 		stream: stream,
 		rob:    make([]robEntry, cfg.ROBSize),
 	}
+	c.storeReq = mem.Request{App: app, Write: true}
 	if dyn, ok := stream.(DynamicStream); ok {
 		c.dyn = dyn
 	}
@@ -310,34 +328,50 @@ func (c *Core) dispatch(now int64) {
 // Returns false when the L1 refused the access (MSHRs full).
 func (c *Core) issueMem(now int64, instr *Instr) bool {
 	if instr.Write {
-		ok := c.l1.Access(now, &mem.Request{App: c.app, Addr: instr.Addr, Write: true})
+		c.storeReq.Addr = instr.Addr
+		ok := c.l1.Access(now, &c.storeReq)
 		if ok {
 			c.stats.Stores++
 			c.pushROB(true)
 		}
 		return ok
 	}
-	slot := c.reserveROB()
-	cold := instr.Cold
-	ok := c.l1.Access(now, &mem.Request{
-		App:  c.app,
-		Addr: instr.Addr,
-		Done: func(int64) {
-			c.rob[slot].done = true
-			if cold {
-				c.outstandingLoads--
-			}
-		},
-	})
-	if !ok {
+	ls := c.newLoad()
+	ls.slot = c.reserveROB()
+	ls.cold = instr.Cold
+	ls.req.Addr = instr.Addr
+	if !c.l1.Access(now, &ls.req) {
 		c.unreserveROB()
+		c.loadFree = append(c.loadFree, ls)
 		return false
 	}
 	c.stats.Loads++
-	if cold {
+	if instr.Cold {
 		c.outstandingLoads++
 	}
 	return true
+}
+
+// newLoad takes a load slot from the free list, or builds one together
+// with its completion closure. The closure reads the slot's fields at fill
+// time and finishes by recycling the slot — the fill is the last reference
+// to it.
+func (c *Core) newLoad() *loadSlot {
+	if n := len(c.loadFree); n > 0 {
+		ls := c.loadFree[n-1]
+		c.loadFree = c.loadFree[:n-1]
+		return ls
+	}
+	ls := &loadSlot{}
+	ls.req.App = c.app
+	ls.req.Done = func(int64) {
+		c.rob[ls.slot].done = true
+		if ls.cold {
+			c.outstandingLoads--
+		}
+		c.loadFree = append(c.loadFree, ls)
+	}
+	return ls
 }
 
 // pushROB appends an entry with the given done state.

@@ -29,6 +29,11 @@ type Device struct {
 
 	servedReads  int64
 	servedWrites int64
+
+	// observer, when set, is notified after every bank state transition
+	// (readyAt/openRow change in Issue) so a controller can maintain
+	// incremental readiness indexes instead of rescanning bank state.
+	observer func(bank int, readyAt int64, openRow int)
 }
 
 // NewDevice validates cfg and builds the device.
@@ -99,6 +104,24 @@ func (d *Device) BankReadyAt(co Coord) int64 {
 	return d.banks[d.cfg.GlobalBank(co)].readyAt
 }
 
+// SetBankObserver installs (or clears, with nil) a callback invoked after
+// every bank state transition with the bank's dense index (Config.GlobalBank
+// order), its new ready cycle and its new open row (-1 when precharged).
+// Bank state only changes inside Issue, so an observer sees every transition
+// and can keep a readiness index exact without polling. A device supports
+// one observer: its single driving controller.
+func (d *Device) SetBankObserver(fn func(bank int, readyAt int64, openRow int)) {
+	d.observer = fn
+}
+
+// BankReadyAtIndex is BankReadyAt for a pre-resolved dense bank index,
+// avoiding the GlobalBank recompute on hot paths that already cached it.
+func (d *Device) BankReadyAtIndex(bank int) int64 { return d.banks[bank].readyAt }
+
+// OpenRow returns the row left open in the given bank (-1 when precharged;
+// always -1 under close-page policy).
+func (d *Device) OpenRow(bank int) int { return d.banks[bank].openRow }
+
 // Blocker describes which resource is delaying an access and who holds it.
 // Used by the controller's interference detector (paper Sec. IV-C).
 type Blocker struct {
@@ -111,11 +134,18 @@ type Blocker struct {
 // resource. Bank occupancy is checked first (it gates issue); otherwise a
 // backlogged data bus counts.
 func (d *Device) Contention(co Coord, app int, now int64) Blocker {
-	b := &d.banks[d.cfg.GlobalBank(co)]
+	return d.ContentionAt(d.cfg.GlobalBank(co), co.Channel, app, now)
+}
+
+// ContentionAt is Contention for a pre-resolved dense bank index and
+// channel, the form the controller's per-cycle interference detector uses
+// with the bank index cached at enqueue.
+func (d *Device) ContentionAt(bank, channel, app int, now int64) Blocker {
+	b := &d.banks[bank]
 	if b.readyAt > now {
 		return Blocker{Blocked: true, App: b.lastApp}
 	}
-	bus := &d.buses[co.Channel]
+	bus := &d.buses[channel]
 	if bus.freeAt > now {
 		return Blocker{Blocked: true, App: bus.lastApp}
 	}
@@ -209,6 +239,9 @@ func (d *Device) Issue(now int64, co Coord, app int, write bool) int64 {
 		d.servedWrites++
 	} else {
 		d.servedReads++
+	}
+	if d.observer != nil {
+		d.observer(d.cfg.GlobalBank(co), bank.readyAt, bank.openRow)
 	}
 	return complete
 }

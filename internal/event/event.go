@@ -27,7 +27,7 @@ func (a item) Before(b item) bool {
 // inline generic heap moves items by value instead of boxing each one
 // through container/heap's interface{}.
 type Queue struct {
-	h   minHeap[item]
+	h   Heap[item]
 	seq uint64
 }
 
@@ -35,7 +35,7 @@ type Queue struct {
 // is allowed; the event fires on the next RunUntil call.
 func (q *Queue) At(cycle int64, fn func()) {
 	q.seq++
-	q.h.push(item{cycle: cycle, seq: q.seq, fn: fn})
+	q.h.Push(item{cycle: cycle, seq: q.seq, fn: fn})
 }
 
 // Len returns the number of pending events.
@@ -55,6 +55,6 @@ func (q *Queue) NextCycle() (int64, bool) {
 // or before cycle.
 func (q *Queue) RunUntil(cycle int64) {
 	for len(q.h) > 0 && q.h[0].cycle <= cycle {
-		q.h.pop().fn()
+		q.h.Pop().fn()
 	}
 }

@@ -1,27 +1,29 @@
 package event
 
-// ordered is the constraint for minHeap elements: a strict-weak Before
+// Ordered is the constraint for Heap elements: a strict-weak Before
 // defining the heap order.
-type ordered[T any] interface {
+type Ordered[T any] interface {
 	Before(T) bool
 }
 
-// minHeap is an inline array-backed binary min-heap. Unlike container/heap
-// it is generic over the element type, so push and pop move concrete values
+// Heap is an inline array-backed binary min-heap. Unlike container/heap it
+// is generic over the element type, so push and pop move concrete values
 // without boxing them into interface{} — no allocation beyond the backing
-// array's amortized growth.
-type minHeap[T ordered[T]] []T
+// array's amortized growth. Queue is built on it; components with typed
+// events (cache callbacks, memory-controller completions) build their own
+// queues on it to keep closure-free hot paths.
+type Heap[T Ordered[T]] []T
 
-// push appends v and restores the heap invariant.
-func (h *minHeap[T]) push(v T) {
+// Push appends v and restores the heap invariant.
+func (h *Heap[T]) Push(v T) {
 	*h = append(*h, v)
 	h.siftUp(len(*h) - 1)
 }
 
-// pop removes and returns the minimum element. The vacated tail slot is
+// Pop removes and returns the minimum element. The vacated tail slot is
 // zeroed so popped elements (and anything they reference, e.g. closures)
 // become collectable.
-func (h *minHeap[T]) pop() T {
+func (h *Heap[T]) Pop() T {
 	old := *h
 	n := len(old) - 1
 	v := old[0]
@@ -33,7 +35,14 @@ func (h *minHeap[T]) pop() T {
 	return v
 }
 
-func (h minHeap[T]) siftUp(i int) {
+// Len returns the number of elements.
+func (h Heap[T]) Len() int { return len(h) }
+
+// Peek returns the minimum element without removing it. The heap must be
+// non-empty.
+func (h Heap[T]) Peek() T { return h[0] }
+
+func (h Heap[T]) siftUp(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
 		if !h[i].Before(h[p]) {
@@ -44,7 +53,7 @@ func (h minHeap[T]) siftUp(i int) {
 	}
 }
 
-func (h minHeap[T]) siftDown(i int) {
+func (h Heap[T]) siftDown(i int) {
 	n := len(h)
 	for {
 		l := 2*i + 1

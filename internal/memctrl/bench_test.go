@@ -54,3 +54,207 @@ func BenchmarkTickPriority(b *testing.B) {
 }
 
 func BenchmarkTickFRFCFS(b *testing.B) { benchController(b, NewFRFCFS(8)) }
+
+// pickSchedulers enumerates the Pick-benchmark scheduler factories. Each
+// factory takes the app count so share/priority vectors match.
+func pickSchedulers() []struct {
+	name string
+	mk   func(b *testing.B, apps int) Scheduler
+} {
+	return []struct {
+		name string
+		mk   func(b *testing.B, apps int) Scheduler
+	}{
+		{"fcfs", func(b *testing.B, apps int) Scheduler { return NewFCFS() }},
+		{"frfcfs", func(b *testing.B, apps int) Scheduler { return NewFRFCFS(8) }},
+		{"stf", func(b *testing.B, apps int) Scheduler {
+			s, err := NewStartTimeFair(evenShares(apps))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"priority", func(b *testing.B, apps int) Scheduler {
+			order := make([]int, apps)
+			for i := range order {
+				order[i] = apps - 1 - i
+			}
+			s, err := NewPriority(order)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"budget", func(b *testing.B, apps int) Scheduler {
+			s, err := NewBudgetThrottle(evenShares(apps), 2000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+	}
+}
+
+func evenShares(apps int) []float64 {
+	shares := make([]float64, apps)
+	for i := range shares {
+		shares[i] = 1 / float64(apps)
+	}
+	return shares
+}
+
+// backloggedController builds a controller with perApp queued reads per app
+// (no issues performed), so Pick cost can be measured in isolation. The
+// address pattern mixes row-local neighbours with bank-crossing jumps.
+func backloggedController(b *testing.B, sched Scheduler, apps, perApp int) *Controller {
+	b.Helper()
+	cfg := dram.DDR2_400()
+	dev, err := dram.NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(dev, apps, 0, sched)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	for app := 0; app < apps; app++ {
+		addr := uint64(app) << 40
+		for i := 0; i < perApp; i++ {
+			c.Access(0, &mem.Request{App: app, Addr: addr})
+			if r.Intn(2) == 0 {
+				addr += 64
+			} else {
+				addr += uint64(1) << (13 + r.Intn(8))
+			}
+		}
+	}
+	return c
+}
+
+// BenchmarkPick measures the cost of one scheduler decision over a static
+// backlog, comparing the legacy full scan against the indexed path, across
+// queue depths and app counts. All banks are ready (now is far in the
+// future), so every queued entry is an issuable candidate — the worst case
+// for the scan and the common case under saturation.
+func BenchmarkPick(b *testing.B) {
+	for _, sc := range pickSchedulers() {
+		for _, perApp := range []int{8, 32, 128} {
+			for _, apps := range []int{2, 4, 8} {
+				for _, indexed := range []bool{false, true} {
+					path := "scan"
+					if indexed {
+						path = "indexed"
+					}
+					name := sc.name + "/entries=" + itoa(perApp) + "/apps=" + itoa(apps) + "/" + path
+					b.Run(name, func(b *testing.B) {
+						c := backloggedController(b, sc.mk(b, apps), apps, perApp)
+						now := int64(1 << 20)
+						b.ResetTimer()
+						if indexed {
+							if c.schedIndexed == nil || !c.ix.enabled {
+								b.Fatal("indexed path unavailable")
+							}
+							for i := 0; i < b.N; i++ {
+								if p := c.schedIndexed.PickIndexed(now, c, c.dev); p.Entry == nil {
+									b.Fatal("no pick from a full backlog")
+								}
+							}
+						} else {
+							for i := 0; i < b.N; i++ {
+								if p := c.sched.Pick(now, c, c.dev); p.Entry == nil {
+									b.Fatal("no pick from a full backlog")
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkStartTimeFairPick isolates the StartTimeFair virtual-finish-tag
+// comparison (satellite of the indexed-issue-path change: SetShares now
+// precomputes inverse shares so Pick multiplies instead of divides).
+func BenchmarkStartTimeFairPick(b *testing.B) {
+	const apps = 8
+	stf, err := NewStartTimeFair(evenShares(apps))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := backloggedController(b, stf, apps, 16)
+	now := int64(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := stf.Pick(now, c, c.dev); p.Entry == nil {
+			b.Fatal("no pick from a full backlog")
+		}
+	}
+}
+
+// benchSaturated drives a fully backlogged 8-app controller end to end
+// (enqueue + pick + issue + complete) for b.N cycles under FR-FCFS behind a
+// write-drain queue — the hot configuration of the saturated system
+// benchmarks — on either pick path.
+func benchSaturated(b *testing.B, reference bool) {
+	b.Helper()
+	const apps = 8
+	inner := NewFRFCFS(8)
+	wd, err := NewWriteDrain(inner, 48, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dram.DDR2_400()
+	dev, err := dram.NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := New(dev, apps, 0, wd)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetPickReference(reference)
+	r := rand.New(rand.NewSource(3))
+	var addr [apps]uint64
+	for i := range addr {
+		addr[i] = uint64(i) << 40
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for cyc := int64(0); cyc < int64(b.N); cyc++ {
+		for app := 0; app < apps; app++ {
+			for c.PendingFor(app) < 8 {
+				c.Access(cyc, &mem.Request{App: app, Addr: addr[app], Write: r.Intn(4) == 0})
+				if r.Intn(2) == 0 {
+					addr[app] += 64
+				} else {
+					addr[app] += uint64(64 * (1 + r.Intn(512)))
+				}
+			}
+		}
+		c.Tick(cyc)
+	}
+}
+
+// BenchmarkControllerSaturated is the end-to-end controller benchmark behind
+// BENCH_memctrl.json: cycles of a saturated 8-app write-drain FR-FCFS
+// controller, on the indexed path and on the scan-based reference path.
+func BenchmarkControllerSaturated(b *testing.B) {
+	b.Run("indexed", func(b *testing.B) { benchSaturated(b, false) })
+	b.Run("reference", func(b *testing.B) { benchSaturated(b, true) })
+}

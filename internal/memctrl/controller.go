@@ -22,6 +22,9 @@ type Entry struct {
 	Coord  dram.Coord
 	Arrive int64 // enqueue cycle
 	seq    int64 // global arrival sequence, breaks same-cycle ties
+	bank   int32 // dense global bank index (Config.GlobalBank), cached at enqueue
+	idx    int32 // absolute slot in the app fifo's backing array; depth = idx - head
+	bpos   int32 // position within its row-hit bucket while window-eligible
 }
 
 // AppStats accumulates per-application counters over a measurement window.
@@ -45,15 +48,45 @@ func (s AppStats) Served() int64 { return s.Reads + s.Writes }
 // Controller is the shared off-chip memory controller. It is driven
 // cycle-by-cycle via Tick from a single goroutine.
 type Controller struct {
-	dev     *dram.Device
-	sched   Scheduler
-	events  event.Queue
-	queues  []fifo // one per app
-	queued  int    // total entries across queues
-	cap     int    // max total queued entries (0 = unbounded)
-	numApps int
-	seq     int64
-	stats   []AppStats
+	dev *dram.Device
+	// cfg caches dev.Config(): Config() returns the struct by value, and the
+	// hot path decodes addresses and reads geometry every cycle.
+	cfg      dram.Config
+	channels int
+	sched    Scheduler
+	// schedIndexed caches the indexedPicker assertion on sched; headOnly and
+	// idleSafe cache the corresponding interface calls. All three are
+	// refreshed by SetScheduler.
+	schedIndexed indexedPicker
+	headOnly     bool
+	idleSafe     bool
+	// pickReference forces the scheduler's reference scan Pick even when an
+	// indexed fast path exists (differential-test seam).
+	pickReference bool
+	// completions is the typed completion queue: one record per in-flight
+	// access, ordered by (cycle, seq) exactly like the closure-based event
+	// queue it replaces, without allocating a closure per issue.
+	completions event.Heap[completion]
+	compSeq     uint64
+	queues      []fifo // one per app
+	queued      int    // total entries across queues
+	// queuedWrites counts queued write entries (reads = queued-queuedWrites),
+	// replacing WriteDrain's per-pick classCounts scan.
+	queuedWrites int
+	cap          int // max total queued entries (0 = unbounded)
+	numApps      int
+	seq          int64
+	stats        []AppStats
+	// ix is the incrementally maintained issue index (see index.go).
+	ix ctrlIndex
+	// entryPool recycles Entries once their issue cycle fully retires;
+	// issuedBuf holds the entries issued this Tick until interference
+	// accounting has read them.
+	entryPool []*Entry
+	issuedBuf []*Entry
+	// candBuf/dfsBuf are reusable scratch for issuableHeads.
+	candBuf []headCand
+	dfsBuf  []int32
 	// nextTry caches the earliest cycle at which a currently blocked issue
 	// attempt could succeed, to skip pointless scans on idle cycles.
 	nextTry int64
@@ -81,17 +114,40 @@ func New(dev *dram.Device, numApps, queueCap int, sched Scheduler) (*Controller,
 	if sched == nil {
 		return nil, errors.New("memctrl: nil scheduler")
 	}
-	return &Controller{
-		dev:     dev,
-		sched:   sched,
-		queues:  make([]fifo, numApps),
-		cap:     queueCap,
-		numApps: numApps,
-		stats:   make([]AppStats, numApps),
+	c := &Controller{
+		dev:      dev,
+		cfg:      dev.Config(),
+		channels: dev.Config().Channels,
+		queues:   make([]fifo, numApps),
+		cap:      queueCap,
+		numApps:  numApps,
+		stats:    make([]AppStats, numApps),
 		// Enough in-flight accesses to overlap activate+CAS latency with
 		// the previous bursts on each channel, and no more.
 		maxInFlight: 3 * dev.Config().Channels,
-	}, nil
+	}
+	c.initIndex()
+	c.applyScheduler(sched)
+	return c, nil
+}
+
+// completion is one scheduled access retirement; Before orders the typed
+// completion queue by (cycle, seq) — the same total order as the closure
+// event queue it replaces.
+type completion struct {
+	cycle int64
+	seq   uint64
+	wait  int64
+	done  func(cycle int64)
+	app   int32
+	write bool
+}
+
+func (a completion) Before(b completion) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
+	}
+	return a.seq < b.seq
 }
 
 // SetTracer installs (or clears, with nil) an observer invoked at every
@@ -122,9 +178,29 @@ func (c *Controller) SetScheduler(s Scheduler) error {
 	if s == nil {
 		return errors.New("memctrl: nil scheduler")
 	}
-	c.sched = s
+	c.applyScheduler(s)
 	return nil
 }
+
+// applyScheduler installs s, refreshes the cached scheduler traits, and
+// rebuilds the issue index (row-hit gating depends on the policy).
+func (c *Controller) applyScheduler(s Scheduler) {
+	c.sched = s
+	c.schedIndexed, _ = s.(indexedPicker)
+	c.headOnly = s.HeadOnly()
+	c.idleSafe = schedIdleSkipSafe(s)
+	c.rebuildIndex()
+}
+
+// SetPickReference forces (on=true) the scheduler's reference scan Pick
+// even when an indexed fast path exists. Differential tests drive two
+// controllers over one trace — one reference, one indexed — and assert
+// bit-identical issue sequences; it is also an escape hatch while
+// debugging index state.
+func (c *Controller) SetPickReference(on bool) { c.pickReference = on }
+
+// PickReferenceEnabled reports whether the reference scan path is forced.
+func (c *Controller) PickReferenceEnabled() bool { return c.pickReference }
 
 // Access implements mem.Port. It enqueues the request, returning false when
 // the controller queue is full.
@@ -136,15 +212,36 @@ func (c *Controller) Access(now int64, req *mem.Request) bool {
 		return false
 	}
 	c.seq++
-	c.queues[req.App].push(&Entry{
-		Req:    req,
-		Coord:  c.dev.Config().Decode(req.Addr),
-		Arrive: now,
-		seq:    c.seq,
-	})
+	e := c.newEntry()
+	e.Req = req
+	e.Coord = c.cfg.Decode(req.Addr)
+	e.Arrive = now
+	e.seq = c.seq
+	e.bank = int32(c.cfg.GlobalBank(e.Coord))
+	q := &c.queues[req.App]
+	q.push(e)
 	c.queued++
+	c.indexEnqueue(e, q)
 	c.nextTry = 0 // new work: re-scan immediately
 	return true
+}
+
+// newEntry takes a recycled Entry from the pool or allocates one.
+func (c *Controller) newEntry() *Entry {
+	if n := len(c.entryPool); n > 0 {
+		e := c.entryPool[n-1]
+		c.entryPool = c.entryPool[:n-1]
+		return e
+	}
+	return &Entry{}
+}
+
+// freeEntry returns an issued entry to the pool once nothing can reference
+// it anymore (it has left its queue, every index, and this Tick's
+// interference accounting).
+func (c *Controller) freeEntry(e *Entry) {
+	e.Req = nil
+	c.entryPool = append(c.entryPool, e)
 }
 
 // Pending returns the number of queued (not yet issued) requests.
@@ -174,16 +271,15 @@ func (c *Controller) QueueDepthsInto(buf []int) []int {
 // interference, and issue requests to the DRAM device — at most one per
 // channel per cycle (each channel has its own command path).
 func (c *Controller) Tick(now int64) {
-	c.events.RunUntil(now)
+	c.runCompletions(now)
 
 	if c.queued == 0 {
 		return
 	}
 
 	var issued *Entry
-	if now >= c.nextTry || !c.sched.HeadOnly() {
-		channels := c.dev.Config().Channels
-		for k := 0; k < channels; k++ {
+	if now >= c.nextTry || !c.headOnly {
+		for k := 0; k < c.channels; k++ {
 			e := c.issueOne(now)
 			if e == nil {
 				break
@@ -191,9 +287,35 @@ func (c *Controller) Tick(now int64) {
 			if issued == nil {
 				issued = e
 			}
+			c.issuedBuf = append(c.issuedBuf, e)
 		}
 	}
 	c.accountInterference(now, issued)
+	for i, e := range c.issuedBuf {
+		c.freeEntry(e)
+		c.issuedBuf[i] = nil
+	}
+	c.issuedBuf = c.issuedBuf[:0]
+}
+
+// runCompletions retires every in-flight access due at or before now, in
+// (cycle, seq) order.
+func (c *Controller) runCompletions(now int64) {
+	for len(c.completions) > 0 && c.completions[0].cycle <= now {
+		ev := c.completions.Pop()
+		c.inFlight--
+		c.nextTry = 0 // a pipeline slot and a bank freed: re-scan
+		st := &c.stats[ev.app]
+		if ev.write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		st.QueueWaitCycles += ev.wait
+		if ev.done != nil {
+			ev.done(ev.cycle)
+		}
+	}
 }
 
 // issueOne asks the scheduler for a victim among issuable entries and
@@ -201,14 +323,19 @@ func (c *Controller) Tick(now int64) {
 func (c *Controller) issueOne(now int64) *Entry {
 	if c.inFlight >= c.maxInFlight {
 		// Pipeline full: wait for a completion. Completions reset nextTry.
-		if next, ok := c.events.NextCycle(); ok && c.sched.HeadOnly() {
-			c.nextTry = next
+		if len(c.completions) > 0 && c.headOnly {
+			c.nextTry = c.completions[0].cycle
 		}
 		return nil
 	}
-	pick := c.sched.Pick(now, c, c.dev)
+	var pick Pick
+	if c.schedIndexed != nil && c.ix.enabled && !c.pickReference {
+		pick = c.schedIndexed.PickIndexed(now, c, c.dev)
+	} else {
+		pick = c.sched.Pick(now, c, c.dev)
+	}
 	if pick.Entry == nil {
-		if c.sched.HeadOnly() {
+		if c.headOnly {
 			// Nothing issuable: sleep until the earliest head's bank frees.
 			c.nextTry = c.earliestBankReady(now)
 		}
@@ -221,24 +348,15 @@ func (c *Controller) issueOne(now int64) *Entry {
 	if c.tracer != nil {
 		c.tracer(now, e.Req.App, e.Req.Addr, e.Req.Write)
 	}
-	app := e.Req.App
-	wait := now - e.Arrive
-	done := e.Req.Done
-	write := e.Req.Write
 	c.inFlight++
-	c.events.At(complete, func() {
-		c.inFlight--
-		c.nextTry = 0 // a pipeline slot and a bank freed: re-scan
-		st := &c.stats[app]
-		if write {
-			st.Writes++
-		} else {
-			st.Reads++
-		}
-		st.QueueWaitCycles += wait
-		if done != nil {
-			done(complete)
-		}
+	c.compSeq++
+	c.completions.Push(completion{
+		cycle: complete,
+		seq:   c.compSeq,
+		wait:  now - e.Arrive,
+		done:  e.Req.Done,
+		app:   int32(e.Req.App),
+		write: e.Req.Write,
 	})
 	return e
 }
@@ -254,23 +372,43 @@ type Pick struct {
 // removeEntry dequeues the picked entry. Policies may pick beyond the head
 // (FR-FCFS row hits), so removal splices within the app FIFO when needed.
 func (c *Controller) removeEntry(p Pick) {
-	q := &c.queues[p.Entry.Req.App]
-	if p.Depth == 0 {
-		q.pop()
-	} else {
-		// Splice: shift younger entries up one slot. Row-hit picks are
-		// shallow in practice, so the O(depth) move is fine.
+	e := p.Entry
+	app := e.Req.App
+	q := &c.queues[app]
+	c.indexRemove(e, q, p.Depth)
+	if p.Depth > 0 {
+		// Splice: shift older entries up one slot. Row-hit picks are
+		// shallow in practice, so the O(depth) move is fine. The shifted
+		// entries keep their depth (slot and head both advance by one), so
+		// only their absolute idx changes.
 		for i := p.Depth; i > 0; i-- {
-			q.items[q.head+i] = q.items[q.head+i-1]
+			moved := q.items[q.head+i-1]
+			moved.idx++
+			q.items[q.head+i] = moved
 		}
-		q.pop()
 	}
+	q.pop()
 	c.queued--
+	if c.ix.enabled && p.Depth == 0 {
+		// The app's oldest entry changed (deeper picks leave the head as is).
+		c.setHead(app, q.peek())
+	}
 }
 
 // earliestBankReady returns the earliest cycle any queued head's bank frees
-// up (used to skip scans while every candidate is blocked).
+// up (used to skip scans while every candidate is blocked). With the issue
+// index this is a heap peek; min over heads of max(now+1, readyAt) equals
+// the clamped heap minimum because now+1 lower-bounds every term.
 func (c *Controller) earliestBankReady(now int64) int64 {
+	if c.ix.enabled {
+		if c.ix.heads.len() == 0 {
+			return now + 1
+		}
+		if t := c.ix.heads.minKey(); t > now+1 {
+			return t
+		}
+		return now + 1
+	}
 	earliest := now + 1
 	first := true
 	for a := range c.queues {
@@ -304,7 +442,7 @@ func (c *Controller) accountInterference(now int64, issued *Entry) {
 		if e == nil {
 			continue
 		}
-		bl := c.dev.Contention(e.Coord, a, now)
+		bl := c.dev.ContentionAt(int(e.bank), e.Coord.Channel, a, now)
 		switch {
 		case bl.Blocked && bl.App != a && bl.App >= 0:
 			c.stats[a].InterferenceCycles++
@@ -323,14 +461,14 @@ func (c *Controller) accountInterference(now int64, issued *Entry) {
 // (see IdleSkipSafeScheduler); otherwise the controller must be ticked
 // every cycle.
 func (c *Controller) NextEventCycle(now int64) (int64, bool) {
-	next, ok := c.events.NextCycle()
-	if !ok {
-		next = math.MaxInt64
+	next := int64(math.MaxInt64)
+	if len(c.completions) > 0 {
+		next = c.completions[0].cycle
 	}
 	if c.queued == 0 {
 		return next, true
 	}
-	if !schedIdleSkipSafe(c.sched) {
+	if !c.idleSafe {
 		return 0, false
 	}
 	if c.inFlight < c.maxInFlight {
@@ -349,8 +487,11 @@ func (c *Controller) NextEventCycle(now int64) (int64, bool) {
 // like FR-FCFS that may still decline a bank-ready non-head entry, which
 // costs a naive tick but never skips over a real issue.
 func (c *Controller) earliestIssueCycle(now int64) int64 {
+	headOnly := c.headOnly
+	if c.ix.enabled {
+		return c.indexedEarliestIssueCycle(now, headOnly)
+	}
 	earliest := int64(math.MaxInt64)
-	headOnly := c.sched.HeadOnly()
 	for a := range c.queues {
 		q := &c.queues[a]
 		n := q.len()
@@ -413,7 +554,13 @@ func (c *Controller) ResetStats() {
 	}
 }
 
+// queuedClassCounts returns the queued read and write counts, maintained
+// incrementally on enqueue/issue (same values as a full-queue scan).
+func (c *Controller) queuedClassCounts() (reads, writes int) {
+	return c.queued - c.queuedWrites, c.queuedWrites
+}
+
 // Drained reports whether no requests are queued or in flight.
 func (c *Controller) Drained() bool {
-	return c.queued == 0 && c.events.Len() == 0
+	return c.queued == 0 && len(c.completions) == 0
 }

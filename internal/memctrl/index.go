@@ -1,0 +1,514 @@
+package memctrl
+
+import (
+	"math"
+	"math/bits"
+
+	"bwpart/internal/dram"
+)
+
+// This file implements the controller's incrementally maintained issue
+// indexes. The reference issue path (Scheduler.Pick) rescans every request
+// queue on every issue attempt: O(apps) for head-only policies and
+// O(apps x MaxScanDepth) for FR-FCFS, plus an O(apps) earliestBankReady
+// recompute whenever every candidate is blocked. The indexes below replace
+// those scans with state that is updated only on the events that can change
+// it — enqueue, issue, and DRAM bank state transitions (delivered by
+// dram.Device.SetBankObserver) — so the saturated hot loop touches only
+// *issuable* candidates:
+//
+//   - headHeap: an indexed min-heap over applications keyed by the
+//     bank-ready cycle of each app's oldest request. Pick fast paths walk
+//     the heap prefix with key <= now (exactly the issuable heads) and
+//     earliestBankReady becomes a heap peek.
+//   - bankApps/headBank: per-bank bitmask of apps whose head targets the
+//     bank, so one bank transition updates only the affected heap keys.
+//   - bankCount: queued entries per bank (any depth), giving non-head-only
+//     policies (FR-FCFS) and the kernel's earliestIssueCycle a per-bank
+//     candidate test without walking queues.
+//   - row-hit buckets: per (bank, row) sets of the entries inside the
+//     FR-FCFS scan window, so the best row hit of a ready bank is found by
+//     one map lookup plus a scan of the (small, window-bounded) bucket
+//     instead of rescanning MaxScanDepth entries of every app.
+//
+// Index-driven picks are bit-identical to the reference scans — the same
+// candidate sets ordered by the same (policy key, seq) total orders — and
+// the differential tests in indexdiff_test.go hold every scheduler to that.
+// Indexing requires numApps <= 64 (one bitmask word); larger systems fall
+// back to the reference path transparently.
+
+// headCand is one issuable candidate surfaced by the index walk: an app
+// whose oldest queued request targets a ready bank.
+type headCand struct {
+	app int
+	e   *Entry
+}
+
+// headHeap is an indexed binary min-heap over applications keyed by the
+// bank-ready cycle of each application's head entry. pos tracks each app's
+// heap slot so keys can be updated in O(log apps) when a bank transitions.
+type headHeap struct {
+	key   []int64 // key[app]: head's bank-ready cycle (valid while pos[app] >= 0)
+	pos   []int32 // pos[app]: heap slot, -1 when absent
+	order []int32 // heap array of app ids
+}
+
+func (h *headHeap) init(numApps int) {
+	h.key = make([]int64, numApps)
+	h.pos = make([]int32, numApps)
+	h.order = make([]int32, 0, numApps)
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *headHeap) reset() {
+	h.order = h.order[:0]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+}
+
+func (h *headHeap) len() int { return len(h.order) }
+
+// minKey returns the smallest key; the heap must be non-empty.
+func (h *headHeap) minKey() int64 { return h.key[h.order[0]] }
+
+// set inserts app with the given key, or updates its key in place.
+func (h *headHeap) set(app int, key int64) {
+	if p := h.pos[app]; p >= 0 {
+		old := h.key[app]
+		h.key[app] = key
+		switch {
+		case key < old:
+			h.siftUp(p)
+		case key > old:
+			h.siftDown(p)
+		}
+		return
+	}
+	h.key[app] = key
+	h.pos[app] = int32(len(h.order))
+	h.order = append(h.order, int32(app))
+	h.siftUp(int32(len(h.order) - 1))
+}
+
+// remove deletes app from the heap; no-op when absent.
+func (h *headHeap) remove(app int) {
+	p := h.pos[app]
+	if p < 0 {
+		return
+	}
+	last := int32(len(h.order) - 1)
+	moved := h.order[last]
+	h.order[p] = moved
+	h.pos[moved] = p
+	h.order = h.order[:last]
+	h.pos[app] = -1
+	if p < last {
+		h.siftDown(p)
+		h.siftUp(p)
+	}
+}
+
+func (h *headHeap) less(i, j int32) bool {
+	return h.key[h.order[i]] < h.key[h.order[j]]
+}
+
+func (h *headHeap) swap(i, j int32) {
+	h.order[i], h.order[j] = h.order[j], h.order[i]
+	h.pos[h.order[i]] = i
+	h.pos[h.order[j]] = j
+}
+
+func (h *headHeap) siftUp(i int32) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *headHeap) siftDown(i int32) {
+	n := int32(len(h.order))
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h.swap(i, m)
+		i = m
+	}
+}
+
+// rowBucket holds the window-eligible entries targeting one (bank, row).
+type rowBucket struct {
+	entries []*Entry
+}
+
+// ctrlIndex is the controller's issue-index state.
+type ctrlIndex struct {
+	// enabled reports whether indexing is active (numApps <= 64). When
+	// false every index-routed path falls back to the reference scans.
+	enabled bool
+	heads   headHeap
+	// headBank[app] is the dense bank index of app's head entry (-1 when
+	// the app's queue is empty); bankApps[bank] is the bitmask of apps
+	// whose head targets the bank.
+	headBank []int32
+	bankApps []uint64
+	// bankCount[bank] counts queued entries targeting the bank, any depth.
+	bankCount []int32
+	// Row-hit index, maintained only for row-hit-aware schedulers under
+	// the open-page policy.
+	rowOn   bool
+	window  int // FR-FCFS scan window (<= 0: unbounded)
+	buckets map[uint64]*rowBucket
+	free    []*rowBucket // bucket pool
+}
+
+// rowHitAware is implemented by schedulers whose Pick searches for row
+// hits beyond queue heads (FR-FCFS, and wrappers delegating to one). The
+// controller maintains the row-hit index only for such schedulers, with
+// the returned scan window; the window is captured at SetScheduler time,
+// so mutating FRFCFS.MaxScanDepth on an installed scheduler is not
+// supported.
+type rowHitAware interface {
+	scanWindow() (depth int, ok bool)
+}
+
+// indexedPicker is the optional fast path of a Scheduler: PickIndexed must
+// return exactly the Pick the reference scan would (bit-identical entry
+// and depth), using the controller's indexes instead of queue scans. The
+// controller routes issue through it unless SetPickReference(true) forces
+// the reference oracle.
+type indexedPicker interface {
+	PickIndexed(now int64, c *Controller, dev *dram.Device) Pick
+}
+
+func bucketKey(bank int32, row int) uint64 {
+	return uint64(uint32(bank))<<32 | uint64(uint32(row))
+}
+
+// initIndex sizes the index for the controller's geometry.
+func (c *Controller) initIndex() {
+	ix := &c.ix
+	ix.enabled = c.numApps <= 64
+	if !ix.enabled {
+		return
+	}
+	ix.heads.init(c.numApps)
+	ix.headBank = make([]int32, c.numApps)
+	for i := range ix.headBank {
+		ix.headBank[i] = -1
+	}
+	numBanks := c.cfg.NumBanks()
+	ix.bankApps = make([]uint64, numBanks)
+	ix.bankCount = make([]int32, numBanks)
+	c.dev.SetBankObserver(c.onBankTransition)
+}
+
+// configureRowIndex re-derives the row-hit gating from the installed
+// scheduler and the device's page policy, then rebuilds bucket contents.
+func (c *Controller) configureRowIndex() {
+	ix := &c.ix
+	if !ix.enabled {
+		return
+	}
+	ix.rowOn = false
+	if ra, ok := c.sched.(rowHitAware); ok && c.cfg.Policy == dram.OpenPage {
+		if w, on := ra.scanWindow(); on {
+			ix.rowOn, ix.window = true, w
+		}
+	}
+	if ix.buckets != nil {
+		for k, b := range ix.buckets {
+			c.releaseBucket(b)
+			delete(ix.buckets, k)
+		}
+	}
+	if ix.rowOn && ix.buckets == nil {
+		ix.buckets = make(map[uint64]*rowBucket)
+	}
+	if !ix.rowOn {
+		return
+	}
+	for a := range c.queues {
+		q := &c.queues[a]
+		n := q.len()
+		if ix.window > 0 && n > ix.window {
+			n = ix.window
+		}
+		for i := 0; i < n; i++ {
+			c.bucketAdd(q.at(i))
+		}
+	}
+}
+
+// rebuildIndex reconstructs every index from the queues (used at scheduler
+// swaps; steady-state maintenance is incremental).
+func (c *Controller) rebuildIndex() {
+	ix := &c.ix
+	if !ix.enabled {
+		return
+	}
+	ix.heads.reset()
+	for i := range ix.headBank {
+		ix.headBank[i] = -1
+	}
+	for i := range ix.bankApps {
+		ix.bankApps[i] = 0
+	}
+	for i := range ix.bankCount {
+		ix.bankCount[i] = 0
+	}
+	for a := range c.queues {
+		q := &c.queues[a]
+		for i := 0; i < q.len(); i++ {
+			ix.bankCount[q.at(i).bank]++
+		}
+		c.setHead(a, q.peek())
+	}
+	c.configureRowIndex()
+}
+
+// setHead records app's new head entry (nil when its queue emptied),
+// updating the bank mask and the ready heap.
+func (c *Controller) setHead(app int, e *Entry) {
+	ix := &c.ix
+	if old := ix.headBank[app]; old >= 0 {
+		ix.bankApps[old] &^= 1 << uint(app)
+	}
+	if e == nil {
+		ix.headBank[app] = -1
+		ix.heads.remove(app)
+		return
+	}
+	ix.headBank[app] = e.bank
+	ix.bankApps[e.bank] |= 1 << uint(app)
+	ix.heads.set(app, c.dev.BankReadyAtIndex(int(e.bank)))
+}
+
+// onBankTransition is the dram.Device observer: refresh the heap key of
+// every app whose head targets the transitioned bank. Row buckets key on
+// (bank, row) and consult the open row only at pick time, so they need no
+// update here.
+func (c *Controller) onBankTransition(bank int, readyAt int64, openRow int) {
+	ix := &c.ix
+	if !ix.enabled {
+		return
+	}
+	for m := ix.bankApps[bank]; m != 0; m &= m - 1 {
+		ix.heads.set(bits.TrailingZeros64(m), readyAt)
+	}
+}
+
+// indexEnqueue hooks Access: a freshly queued entry adjusts the bank
+// count, the class counts, possibly the head heap (first entry of an idle
+// app), and the row index (entry born inside the scan window).
+func (c *Controller) indexEnqueue(e *Entry, q *fifo) {
+	if e.Req.Write {
+		c.queuedWrites++
+	}
+	ix := &c.ix
+	if !ix.enabled {
+		return
+	}
+	ix.bankCount[e.bank]++
+	if q.len() == 1 {
+		c.setHead(e.Req.App, e)
+	}
+	if ix.rowOn {
+		if d := q.len() - 1; ix.window <= 0 || d < ix.window {
+			c.bucketAdd(e)
+		}
+	}
+}
+
+// indexRemove hooks removeEntry before the queue is spliced: drop the
+// issued entry from bank/class/row indexes and slide the row window.
+func (c *Controller) indexRemove(e *Entry, q *fifo, depth int) {
+	if e.Req.Write {
+		c.queuedWrites--
+	}
+	ix := &c.ix
+	if !ix.enabled {
+		return
+	}
+	ix.bankCount[e.bank]--
+	if ix.rowOn {
+		if ix.window <= 0 || depth < ix.window {
+			c.bucketRemove(e)
+		}
+		// The removal shifts every deeper entry up one position: the entry
+		// that was sitting just past the window becomes eligible.
+		if ix.window > 0 && q.len() > ix.window {
+			c.bucketAdd(q.at(ix.window))
+		}
+	}
+}
+
+func (c *Controller) newBucket() *rowBucket {
+	if n := len(c.ix.free); n > 0 {
+		b := c.ix.free[n-1]
+		c.ix.free = c.ix.free[:n-1]
+		return b
+	}
+	return &rowBucket{}
+}
+
+func (c *Controller) releaseBucket(b *rowBucket) {
+	for i := range b.entries {
+		b.entries[i] = nil
+	}
+	b.entries = b.entries[:0]
+	c.ix.free = append(c.ix.free, b)
+}
+
+func (c *Controller) bucketAdd(e *Entry) {
+	k := bucketKey(e.bank, e.Coord.Row)
+	b := c.ix.buckets[k]
+	if b == nil {
+		b = c.newBucket()
+		c.ix.buckets[k] = b
+	}
+	e.bpos = int32(len(b.entries))
+	b.entries = append(b.entries, e)
+}
+
+func (c *Controller) bucketRemove(e *Entry) {
+	k := bucketKey(e.bank, e.Coord.Row)
+	b := c.ix.buckets[k]
+	last := int32(len(b.entries) - 1)
+	moved := b.entries[last]
+	b.entries[e.bpos] = moved
+	moved.bpos = e.bpos
+	b.entries[last] = nil
+	b.entries = b.entries[:last]
+	if last == 0 {
+		delete(c.ix.buckets, k)
+		c.releaseBucket(b)
+	}
+}
+
+// issuableHeads appends to the controller's reusable candidate buffer
+// every app whose oldest entry targets a bank that is ready at now — the
+// exact candidate set the reference head-only scans filter out of all
+// queues — and returns it. The walk visits only the heap prefix with
+// key <= now, pruning blocked subtrees. Candidate order is unspecified;
+// every consumer resolves ties with total orders over (policy key, seq).
+func (c *Controller) issuableHeads(now int64) []headCand {
+	c.candBuf = c.candBuf[:0]
+	h := &c.ix.heads
+	n := int32(len(h.order))
+	if n == 0 || h.key[h.order[0]] > now {
+		return c.candBuf
+	}
+	c.dfsBuf = append(c.dfsBuf[:0], 0)
+	for len(c.dfsBuf) > 0 {
+		i := c.dfsBuf[len(c.dfsBuf)-1]
+		c.dfsBuf = c.dfsBuf[:len(c.dfsBuf)-1]
+		app := h.order[i]
+		if h.key[app] > now {
+			continue
+		}
+		c.candBuf = append(c.candBuf, headCand{app: int(app), e: c.queues[app].peek()})
+		if l := 2*i + 1; l < n {
+			c.dfsBuf = append(c.dfsBuf, l)
+		}
+		if r := 2*i + 2; r < n {
+			c.dfsBuf = append(c.dfsBuf, r)
+		}
+	}
+	return c.candBuf
+}
+
+// oldestIssuableHead returns the minimum-seq issuable head — the indexed
+// equivalent of the FCFS reference scan.
+func (c *Controller) oldestIssuableHead(now int64) Pick {
+	var best *Entry
+	for _, cand := range c.issuableHeads(now) {
+		if best == nil || cand.e.seq < best.seq {
+			best = cand.e
+		}
+	}
+	return Pick{Entry: best}
+}
+
+// bestRowHit returns the minimum-seq window-eligible row-hit entry across
+// all ready banks (the FR-FCFS hit preference), or a zero Pick. One map
+// lookup per ready bank replaces the reference scan over every app's
+// window.
+func (c *Controller) bestRowHit(now int64) Pick {
+	ix := &c.ix
+	if !ix.rowOn {
+		return Pick{}
+	}
+	var best *Entry
+	for bank, cnt := range ix.bankCount {
+		if cnt == 0 || c.dev.BankReadyAtIndex(bank) > now {
+			continue
+		}
+		row := c.dev.OpenRow(bank)
+		if row < 0 {
+			continue
+		}
+		b := ix.buckets[bucketKey(int32(bank), row)]
+		if b == nil {
+			continue
+		}
+		for _, e := range b.entries {
+			if best == nil || e.seq < best.seq {
+				best = e
+			}
+		}
+	}
+	if best == nil {
+		return Pick{}
+	}
+	return Pick{Entry: best, Depth: int(best.idx) - c.queues[best.Req.App].head}
+}
+
+// indexedEarliestIssueCycle lower-bounds the next possible issue cycle
+// from the indexes: the head heap's minimum for head-only policies, the
+// per-bank candidate counts otherwise. Values match the reference scans
+// exactly.
+func (c *Controller) indexedEarliestIssueCycle(now int64, headOnly bool) int64 {
+	if headOnly {
+		if c.ix.heads.len() == 0 {
+			return math.MaxInt64
+		}
+		t := c.ix.heads.minKey()
+		if t < now+1 {
+			t = now + 1
+		}
+		return t
+	}
+	earliest := int64(math.MaxInt64)
+	for bank, cnt := range c.ix.bankCount {
+		if cnt == 0 {
+			continue
+		}
+		t := now + 1
+		if r := c.dev.BankReadyAtIndex(bank); r > t {
+			t = r
+		}
+		if t < earliest {
+			earliest = t
+			if earliest == now+1 {
+				return earliest
+			}
+		}
+	}
+	return earliest
+}

@@ -1,0 +1,287 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/mem"
+)
+
+// issueRec is one issued access as seen by the controller tracer, plus the
+// completion cycle recorded by the request's Done callback (filled in later).
+type issueRec struct {
+	cycle int64
+	app   int
+	addr  uint64
+	write bool
+}
+
+// diffSchedulers enumerates every scheduler under test with a fresh-instance
+// factory, so the indexed and reference controllers never share mutable
+// policy state (tags, ranks, budgets, batches).
+func diffSchedulers(numApps int) []struct {
+	name string
+	mk   func(t *testing.T) Scheduler
+} {
+	shares := make([]float64, numApps)
+	order := make([]int, numApps)
+	for i := range shares {
+		shares[i] = float64(i+1) * 2 / float64(numApps*(numApps+1))
+		order[i] = numApps - 1 - i
+	}
+	return []struct {
+		name string
+		mk   func(t *testing.T) Scheduler
+	}{
+		{"fcfs", func(t *testing.T) Scheduler { return NewFCFS() }},
+		{"frfcfs", func(t *testing.T) Scheduler { return NewFRFCFS(8) }},
+		{"stf", func(t *testing.T) Scheduler {
+			s, err := NewStartTimeFair(shares)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"priority", func(t *testing.T) Scheduler {
+			s, err := NewPriority(order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"budget", func(t *testing.T) Scheduler {
+			s, err := NewBudgetThrottle(shares, 2000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"writedrain", func(t *testing.T) Scheduler {
+			s, err := NewWriteDrain(NewFRFCFS(8), 12, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"stfm", func(t *testing.T) Scheduler {
+			s, err := NewSTFM(numApps, 1.1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"atlas", func(t *testing.T) Scheduler {
+			s, err := NewATLAS(numApps, 5000, 0.875)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"tcm", func(t *testing.T) Scheduler {
+			s, err := NewTCM(numApps, 5000, 800, 0.3, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+		{"parbs", func(t *testing.T) Scheduler {
+			s, err := NewPARBS(numApps, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}},
+	}
+}
+
+// diffDrive runs one controller against the deterministic random workload
+// derived from seed and returns its issue trace, completion trace, and final
+// stats. The workload mixes reads and posted writes, strided and row-local
+// address patterns, bursts, and idle gaps so row hits, bank conflicts,
+// write-drain mode, and queue-empty transitions are all exercised.
+func diffDrive(t *testing.T, c *Controller, numApps int, seed int64, cycles int64) (issues []issueRec, done []issueRec, stats []AppStats) {
+	t.Helper()
+	c.SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+		issues = append(issues, issueRec{cycle, app, addr, write})
+	})
+	r := rand.New(rand.NewSource(seed))
+	addr := make([]uint64, numApps)
+	for a := range addr {
+		addr[a] = uint64(a) << 41
+	}
+	for cyc := int64(0); cyc < cycles; cyc++ {
+		for app := 0; app < numApps; app++ {
+			// Bursty arrivals: mostly keep a deep backlog, sometimes go idle.
+			limit := 6
+			if r.Intn(37) == 0 {
+				limit = 0
+			}
+			for c.PendingFor(app) < limit {
+				a, ad := app, addr[app]
+				req := &mem.Request{App: app, Addr: ad}
+				if r.Intn(4) == 0 {
+					req.Write = true
+				} else {
+					req.Done = func(cycle int64) {
+						done = append(done, issueRec{cycle, a, ad, false})
+					}
+				}
+				if !c.Access(cyc, req) {
+					break
+				}
+				switch r.Intn(3) {
+				case 0: // row-local: next line in the same row
+					addr[app] += 64
+				case 1: // small stride, likely same bank different row
+					addr[app] += uint64(64 * (1 + r.Intn(64)))
+				default: // long jump across banks
+					addr[app] += uint64(1) << (12 + r.Intn(10))
+				}
+			}
+		}
+		c.Tick(cyc)
+	}
+	// Drain so completion traces cover every issued access.
+	for cyc := cycles; !c.Drained(); cyc++ {
+		c.Tick(cyc)
+	}
+	return issues, done, c.Stats()
+}
+
+// TestIndexedPickMatchesReference is the core differential property of the
+// indexed issue path: for every scheduler, page policy, and app count, a
+// controller using the incremental indexes must produce a bit-identical
+// issue sequence, completion sequence, and per-app stats (including
+// interference counters) to one forced onto the scan-based reference path.
+func TestIndexedPickMatchesReference(t *testing.T) {
+	for _, policy := range []dram.PagePolicy{dram.OpenPage, dram.ClosePage} {
+		for _, numApps := range []int{2, 5} {
+			for _, sc := range diffSchedulers(numApps) {
+				for seed := int64(1); seed <= 3; seed++ {
+					name := fmt.Sprintf("%s/policy=%v/apps=%d/seed=%d", sc.name, policy, numApps, seed)
+					t.Run(name, func(t *testing.T) {
+						mkCtrl := func(reference bool) *Controller {
+							dev := testDevice(t, policy)
+							c, err := New(dev, numApps, 0, sc.mk(t))
+							if err != nil {
+								t.Fatal(err)
+							}
+							c.SetPickReference(reference)
+							return c
+						}
+						ref := mkCtrl(true)
+						idx := mkCtrl(false)
+						if ref.PickReferenceEnabled() == idx.PickReferenceEnabled() {
+							t.Fatal("reference switch not effective")
+						}
+						cycles := int64(40_000)
+						rIss, rDone, rStats := diffDrive(t, ref, numApps, seed, cycles)
+						iIss, iDone, iStats := diffDrive(t, idx, numApps, seed, cycles)
+						if len(rIss) == 0 {
+							t.Fatal("reference controller issued nothing — workload broken")
+						}
+						if !reflect.DeepEqual(rIss, iIss) {
+							t.Fatalf("issue traces diverge: reference %d records, indexed %d; first diff at %d",
+								len(rIss), len(iIss), firstDiff(rIss, iIss))
+						}
+						if !reflect.DeepEqual(rDone, iDone) {
+							t.Fatalf("completion traces diverge: reference %d, indexed %d; first diff at %d",
+								len(rDone), len(iDone), firstDiff(rDone, iDone))
+						}
+						if !reflect.DeepEqual(rStats, iStats) {
+							t.Fatalf("stats diverge\nreference: %+v\nindexed:   %+v", rStats, iStats)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// firstDiff returns the first index where the two traces differ.
+func firstDiff(a, b []issueRec) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestIndexedSchedulerSwapRebuilds checks that swapping schedulers mid-run
+// rebuilds the indexes consistently: the post-swap issue stream must still
+// match a reference controller undergoing the same swaps.
+func TestIndexedSchedulerSwapRebuilds(t *testing.T) {
+	for _, policy := range []dram.PagePolicy{dram.OpenPage, dram.ClosePage} {
+		t.Run(fmt.Sprintf("policy=%v", policy), func(t *testing.T) {
+			const numApps = 3
+			mkCtrl := func(reference bool) *Controller {
+				dev := testDevice(t, policy)
+				c, err := New(dev, numApps, 0, NewFCFS())
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.SetPickReference(reference)
+				return c
+			}
+			drive := func(c *Controller) ([]issueRec, []AppStats) {
+				var issues []issueRec
+				c.SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+					issues = append(issues, issueRec{cycle, app, addr, write})
+				})
+				r := rand.New(rand.NewSource(99))
+				addr := [numApps]uint64{0, 1 << 41, 2 << 41}
+				for cyc := int64(0); cyc < 30_000; cyc++ {
+					switch cyc {
+					case 8_000:
+						s, err := NewStartTimeFair([]float64{0.5, 0.3, 0.2})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := c.SetScheduler(s); err != nil {
+							t.Fatal(err)
+						}
+					case 16_000:
+						if err := c.SetScheduler(NewFRFCFS(6)); err != nil {
+							t.Fatal(err)
+						}
+					case 24_000:
+						s, err := NewWriteDrain(NewFRFCFS(6), 10, 3)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := c.SetScheduler(s); err != nil {
+							t.Fatal(err)
+						}
+					}
+					for app := 0; app < numApps; app++ {
+						for c.PendingFor(app) < 5 {
+							req := &mem.Request{App: app, Addr: addr[app], Write: r.Intn(5) == 0}
+							if !c.Access(cyc, req) {
+								break
+							}
+							addr[app] += uint64(64 * (1 + r.Intn(32)))
+						}
+					}
+					c.Tick(cyc)
+				}
+				return issues, c.Stats()
+			}
+			rIss, rStats := drive(mkCtrl(true))
+			iIss, iStats := drive(mkCtrl(false))
+			if !reflect.DeepEqual(rIss, iIss) {
+				t.Fatalf("issue traces diverge across scheduler swaps; first diff at %d", firstDiff(rIss, iIss))
+			}
+			if !reflect.DeepEqual(rStats, iStats) {
+				t.Fatalf("stats diverge\nreference: %+v\nindexed:   %+v", rStats, iStats)
+			}
+		})
+	}
+}

@@ -80,6 +80,12 @@ func (*FCFS) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	return Pick{Entry: best}
 }
 
+// PickIndexed returns the same entry as Pick by walking only the issuable
+// heads surfaced by the controller's ready-head heap.
+func (*FCFS) PickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	return c.oldestIssuableHead(now)
+}
+
 // ---------------------------------------------------------------------------
 // FR-FCFS: first-ready, first-come-first-served (Rixner et al., ISCA'00).
 // Row hits are served before row misses; ties broken by age. Only
@@ -138,6 +144,22 @@ func (s *FRFCFS) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	return bestOld
 }
 
+// scanWindow exposes the row-hit search depth so the controller maintains
+// its per-(bank, row) index over exactly the entries this policy scans.
+func (s *FRFCFS) scanWindow() (int, bool) { return s.MaxScanDepth, true }
+
+// PickIndexed returns the same pick as the reference scan: the oldest
+// window-eligible row hit on a ready bank if any (via the row-hit index),
+// else the oldest bank-ready head (via the ready-head heap). Under the
+// close-page policy no row is ever open and the row index is disabled, so
+// this degenerates to FCFS exactly like the scan does.
+func (s *FRFCFS) PickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	if hit := c.bestRowHit(now); hit.Entry != nil {
+		return hit
+	}
+	return c.oldestIssuableHead(now)
+}
+
 // ---------------------------------------------------------------------------
 // Start-time fair partitioning: the paper's enforcement mechanism
 // (Sec. IV-B), a modified DRAM Start-Time Fair scheduler. Each app a has a
@@ -153,7 +175,11 @@ func (s *FRFCFS) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 // StartTimeFair enforces a bandwidth share vector beta over applications.
 type StartTimeFair struct {
 	shares []float64
-	tags   []float64
+	// invShares caches 1/shares[a] (the per-issue tag increment) so the
+	// per-pick loop and OnIssue avoid a float division; the cached quotient
+	// is the identical float64, so tag evolution is bit-identical.
+	invShares []float64
+	tags      []float64
 }
 
 // NewStartTimeFair builds the partitioning scheduler for numApps apps with
@@ -164,8 +190,9 @@ func NewStartTimeFair(shares []float64) (*StartTimeFair, error) {
 		return nil, errors.New("memctrl: empty share vector")
 	}
 	s := &StartTimeFair{
-		shares: make([]float64, len(shares)),
-		tags:   make([]float64, len(shares)),
+		shares:    make([]float64, len(shares)),
+		invShares: make([]float64, len(shares)),
+		tags:      make([]float64, len(shares)),
 	}
 	if err := s.SetShares(shares); err != nil {
 		return nil, err
@@ -188,6 +215,7 @@ func (s *StartTimeFair) SetShares(shares []float64) error {
 	}
 	for i, b := range shares {
 		s.shares[i] = b / total
+		s.invShares[i] = 1 / s.shares[i]
 	}
 	return nil
 }
@@ -213,7 +241,7 @@ func (s *StartTimeFair) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 		if e == nil {
 			continue
 		}
-		tag := s.tags[a] + 1/s.shares[a]
+		tag := s.tags[a] + s.invShares[a]
 		if best == nil || tag < bestTag || (tag == bestTag && e.seq < best.seq) {
 			best, bestTag = e, tag
 		}
@@ -221,9 +249,23 @@ func (s *StartTimeFair) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 	return Pick{Entry: best}
 }
 
+// PickIndexed returns the same entry as Pick — minimum (next tag, seq) —
+// over only the issuable heads. (tag, seq) is a strict total order, so the
+// heap's unspecified candidate order cannot change the winner.
+func (s *StartTimeFair) PickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	var best *Entry
+	var bestTag float64
+	for _, cand := range c.issuableHeads(now) {
+		tag := s.tags[cand.app] + s.invShares[cand.app]
+		if best == nil || tag < bestTag || (tag == bestTag && cand.e.seq < best.seq) {
+			best, bestTag = cand.e, tag
+		}
+	}
+	return Pick{Entry: best}
+}
+
 func (s *StartTimeFair) OnIssue(e *Entry) {
-	a := e.Req.App
-	s.tags[a] += 1 / s.shares[a]
+	s.tags[e.Req.App] += s.invShares[e.Req.App]
 }
 
 // ---------------------------------------------------------------------------
@@ -277,6 +319,23 @@ func (p *Priority) Pick(now int64, c *Controller, dev *dram.Device) Pick {
 		}
 		if best == nil || r < bestRank || (r == bestRank && e.seq < best.seq) {
 			best, bestRank = e, r
+		}
+	}
+	return Pick{Entry: best}
+}
+
+// PickIndexed returns the same entry as Pick — minimum (rank, seq) — over
+// only the issuable heads.
+func (p *Priority) PickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	var best *Entry
+	bestRank := len(p.rank)
+	for _, cand := range c.issuableHeads(now) {
+		r := len(p.rank)
+		if cand.app < len(p.rank) {
+			r = p.rank[cand.app]
+		}
+		if best == nil || r < bestRank || (r == bestRank && cand.e.seq < best.seq) {
+			best, bestRank = cand.e, r
 		}
 	}
 	return Pick{Entry: best}

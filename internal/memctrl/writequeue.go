@@ -121,3 +121,52 @@ func (w *WriteDrain) innerReadPick(now int64, c *Controller, dev *dram.Device) P
 	}
 	return pickClass(c, dev, now, false)
 }
+
+// scanWindow delegates to the inner policy so the controller's row-hit
+// index covers exactly what the inner scan would search.
+func (w *WriteDrain) scanWindow() (int, bool) {
+	if ra, ok := w.inner.(rowHitAware); ok {
+		return ra.scanWindow()
+	}
+	return 0, false
+}
+
+// PickIndexed mirrors Pick with the incrementally maintained class counts
+// and the inner policy's indexed pick. The class-filtered fallback scans
+// (pickClass) are shared with the reference path: they run only while
+// draining or when the read class is empty/blocked, not in the saturated
+// read-heavy steady state.
+func (w *WriteDrain) PickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	reads, writes := c.queuedClassCounts()
+	if w.draining && writes <= w.DrainTo {
+		w.draining = false
+	}
+	if !w.draining && writes >= w.HighWatermark {
+		w.draining = true
+	}
+	if w.draining || reads == 0 {
+		if p := pickClass(c, dev, now, true); p.Entry != nil {
+			return p
+		}
+		// No write issuable: fall through to reads (work conservation).
+	}
+	if p := w.innerReadPickIndexed(now, c, dev); p.Entry != nil {
+		return p
+	}
+	return pickClass(c, dev, now, true)
+}
+
+// innerReadPickIndexed is innerReadPick via the inner policy's indexed
+// fast path when it has one.
+func (w *WriteDrain) innerReadPickIndexed(now int64, c *Controller, dev *dram.Device) Pick {
+	var p Pick
+	if ip, ok := w.inner.(indexedPicker); ok {
+		p = ip.PickIndexed(now, c, dev)
+	} else {
+		p = w.inner.Pick(now, c, dev)
+	}
+	if p.Entry != nil && !p.Entry.Req.Write {
+		return p
+	}
+	return pickClass(c, dev, now, false)
+}

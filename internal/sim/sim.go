@@ -78,6 +78,11 @@ type Config struct {
 	// Kernel selects Run's advancement strategy; the zero value is the
 	// cycle-skipping kernel. See Kernel.
 	Kernel Kernel
+	// ReferencePick forces the memory controller onto its scan-based
+	// reference pick path instead of the indexed fast path. The two are
+	// bit-identical by contract; this switch exists for differential tests
+	// and for debugging suspected index corruption.
+	ReferencePick bool
 }
 
 // DefaultConfig returns the paper's baseline system (Table II): four-core

@@ -42,6 +42,7 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctrl.SetPickReference(cfg.ReferencePick)
 	s := &System{cfg: cfg, dev: dev, ctrl: ctrl}
 	s.comps = append(s.comps, ctrl)
 	if cfg.SharedL2 {

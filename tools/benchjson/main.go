@@ -8,6 +8,13 @@
 //
 // Speedups are computed from each benchmark's best (minimum) ns/op across
 // runs, the standard way to suppress scheduling noise in short benchmarks.
+//
+// With -against OLD.json the new results are additionally compared to a
+// previously committed report: any benchmark present in both whose best
+// ns/op regressed by more than -tolerance percent fails the run (non-zero
+// exit), which is the `make bench-check` performance gate:
+//
+//	benchjson -i bench.out -against BENCH_kernel.json -tolerance 10
 package main
 
 import (
@@ -58,6 +65,8 @@ func main() {
 	log.SetPrefix("benchjson: ")
 	inPath := flag.String("i", "", "read benchmark output from this file (default stdin)")
 	outPath := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	againstPath := flag.String("against", "", "compare against this baseline JSON report and fail on regressions")
+	tolerance := flag.Float64("tolerance", 5, "allowed per-benchmark slowdown in percent for -against")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -80,11 +89,62 @@ func main() {
 	raw = append(raw, '\n')
 	if *outPath == "" {
 		os.Stdout.Write(raw)
-		return
-	}
-	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+	} else if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
 		log.Fatal(err)
 	}
+	if *againstPath != "" {
+		oldRaw, err := os.ReadFile(*againstPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var old Report
+		if err := json.Unmarshal(oldRaw, &old); err != nil {
+			log.Fatalf("parse %s: %v", *againstPath, err)
+		}
+		regs, compared := compare(&old, rep, *tolerance)
+		if compared == 0 {
+			log.Fatalf("no common benchmarks with %s — wrong baseline?", *againstPath)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.1f%%)\n",
+				r.Name, r.Old, r.New, r.Pct, *tolerance)
+		}
+		if len(regs) > 0 {
+			log.Fatalf("%d of %d benchmarks regressed beyond %.1f%%", len(regs), compared, *tolerance)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.1f%% of %s\n",
+			compared, *tolerance, *againstPath)
+	}
+}
+
+// Regression describes one benchmark that slowed beyond the tolerance.
+type Regression struct {
+	Name     string
+	Old, New float64 // best ns/op
+	Pct      float64 // relative slowdown in percent
+}
+
+// compare checks every benchmark present in both reports and returns those
+// whose best ns/op grew by more than tolerance percent, plus the number of
+// benchmarks compared. Benchmarks that exist on only one side are skipped:
+// the gate guards known benchmarks, it does not pin the benchmark set.
+func compare(old, new *Report, tolerance float64) (regs []Regression, compared int) {
+	oldBy := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b.MinNsOp
+	}
+	for _, b := range new.Benchmarks {
+		was, ok := oldBy[b.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		compared++
+		pct := (b.MinNsOp/was - 1) * 100
+		if pct > tolerance {
+			regs = append(regs, Regression{Name: b.Name, Old: was, New: b.MinNsOp, Pct: pct})
+		}
+	}
+	return regs, compared
 }
 
 // parse consumes go-test benchmark output and builds the report.

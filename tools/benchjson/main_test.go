@@ -54,3 +54,37 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 		t.Fatal("expected error on input with no benchmark lines")
 	}
 }
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", MinNsOp: 100},
+		{Name: "BenchmarkB", MinNsOp: 100},
+		{Name: "BenchmarkOldOnly", MinNsOp: 100},
+	}}
+	cur := &Report{Benchmarks: []Bench{
+		{Name: "BenchmarkA", MinNsOp: 104}, // +4%: inside a 5% tolerance
+		{Name: "BenchmarkB", MinNsOp: 120}, // +20%: regression
+		{Name: "BenchmarkNewOnly", MinNsOp: 9999},
+	}}
+	regs, compared := compare(old, cur, 5)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 (benchmarks on one side only are skipped)", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "BenchmarkB" {
+		t.Fatalf("regressions = %+v, want exactly BenchmarkB", regs)
+	}
+	if regs[0].Pct < 19.9 || regs[0].Pct > 20.1 {
+		t.Errorf("Pct = %v, want ~20", regs[0].Pct)
+	}
+	if regs, _ := compare(old, cur, 25); len(regs) != 0 {
+		t.Errorf("tolerance 25%% should pass, got %+v", regs)
+	}
+}
+
+func TestCompareImprovementsPass(t *testing.T) {
+	old := &Report{Benchmarks: []Bench{{Name: "BenchmarkA", MinNsOp: 100}}}
+	cur := &Report{Benchmarks: []Bench{{Name: "BenchmarkA", MinNsOp: 40}}}
+	if regs, compared := compare(old, cur, 5); len(regs) != 0 || compared != 1 {
+		t.Fatalf("speedups must never fail the gate: regs=%+v compared=%d", regs, compared)
+	}
+}
