@@ -1,0 +1,77 @@
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/mem"
+)
+
+// Repro: WriteDrain(FRFCFS(small window)) with per-app backlogs deeper than
+// the window. pickClass can remove entries at depth >= window; indexRemove's
+// window-slide bucketAdd is not gated on depth < window.
+func TestReproDeepQueueWriteDrain(t *testing.T) {
+	const numApps = 2
+	mk := func(reference bool) *Controller {
+		dev := testDevice(t, dram.OpenPage)
+		inner := NewFRFCFS(2) // window smaller than backlog
+		wd, err := NewWriteDrain(inner, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(dev, numApps, 0, wd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetPickReference(reference)
+		return c
+	}
+	drive := func(c *Controller) []issueRec {
+		var issues []issueRec
+		c.SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+			issues = append(issues, issueRec{cycle, app, addr, write})
+		})
+		r := rand.New(rand.NewSource(7))
+		addr := [numApps]uint64{0, 1 << 41}
+		for cyc := int64(0); cyc < 20000; cyc++ {
+			for app := 0; app < numApps; app++ {
+				for c.PendingFor(app) < 10 { // deep backlog > window
+					req := &mem.Request{App: app, Addr: addr[app], Write: r.Intn(3) == 0}
+					if !c.Access(cyc, req) {
+						break
+					}
+					switch r.Intn(3) {
+					case 0:
+						addr[app] += 64
+					case 1:
+						addr[app] += uint64(64 * (1 + r.Intn(64)))
+					default:
+						addr[app] += uint64(1) << (12 + r.Intn(10))
+					}
+				}
+			}
+			c.Tick(cyc)
+		}
+		for cyc := int64(20000); !c.Drained(); cyc++ {
+			c.Tick(cyc)
+		}
+		return issues
+	}
+	rIss := drive(mk(true))
+	iIss := drive(mk(false))
+	if !reflect.DeepEqual(rIss, iIss) {
+		d := firstDiff(rIss, iIss)
+		var rr, ii issueRec
+		if d < len(rIss) {
+			rr = rIss[d]
+		}
+		if d < len(iIss) {
+			ii = iIss[d]
+		}
+		t.Fatalf("diverged at %d: ref=%+v idx=%+v", d, rr, ii)
+	}
+	fmt.Println("identical", len(rIss))
+}
