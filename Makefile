@@ -3,7 +3,8 @@
 # experiment engine, its observability collector, and the memory
 # controller — including the indexed issue path and its differential
 # tests), and a compile of every benchmark. `make bench` refreshes the
-# committed benchmark reports (BENCH_kernel.json, BENCH_memctrl.json);
+# committed benchmark reports (BENCH_kernel.json, BENCH_memctrl.json,
+# BENCH_sweep.json);
 # `make bench-check` re-runs the benchmarks and fails if any regressed
 # beyond the tolerance against those committed reports — run it alongside
 # `make check` before sending a performance-sensitive PR.
@@ -50,8 +51,10 @@ bench:
 	$(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
 	$(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
-	@rm -f bench.out bench_memctrl.out
-	@cat BENCH_kernel.json BENCH_memctrl.json
+	$(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count 3 ./internal/exper > bench_sweep.out
+	$(GO) run ./tools/benchjson -i bench_sweep.out -o BENCH_sweep.json
+	@rm -f bench.out bench_memctrl.out bench_sweep.out
+	@cat BENCH_kernel.json BENCH_memctrl.json BENCH_sweep.json
 
 # bench-check is the performance regression gate: re-run both benchmark
 # suites and compare each result against the committed reports, failing on
@@ -61,4 +64,6 @@ bench-check:
 	$(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
 	$(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
-	@rm -f bench.out bench_memctrl.out
+	$(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count 3 ./internal/exper > bench_sweep.out
+	$(GO) run ./tools/benchjson -i bench_sweep.out -against BENCH_sweep.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	@rm -f bench.out bench_memctrl.out bench_sweep.out

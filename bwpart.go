@@ -110,7 +110,16 @@ type (
 	MixRun = exper.MixRun
 	// GridCell is one (mix, scheme) point of a sweep grid (see Runner.RunGrid).
 	GridCell = exper.GridCell
+	// CheckpointStore persists finished sweep cells so an interrupted
+	// RunGrid resumes instead of restarting. Install via
+	// ExperimentConfig.Checkpoint.
+	CheckpointStore = exper.CheckpointStore
 )
+
+// NewCheckpointStore opens (creating if needed) a sweep checkpoint directory.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	return exper.NewCheckpointStore(dir)
+}
 
 // Run-level observability (the experiment engine's counters and timers).
 type (

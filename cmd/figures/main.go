@@ -34,6 +34,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"persist finished sweep cells to this directory and resume interrupted grid experiments from them")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -71,6 +73,12 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Sim.Kernel = kernel
+	if *checkpointDir != "" {
+		cfg.Checkpoint, err = bwpart.NewCheckpointStore(*checkpointDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	col := bwpart.NewRunObserver()
 	cfg.Obs = col
 	if *progress {

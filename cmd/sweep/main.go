@@ -43,6 +43,8 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"persist finished sweep cells to this directory and resume an interrupted sweep from them")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -76,6 +78,14 @@ func main() {
 		}
 	}
 
+	var store *bwpart.CheckpointStore
+	if *checkpointDir != "" {
+		store, err = bwpart.NewCheckpointStore(*checkpointDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	col := bwpart.NewRunObserver()
 	if *progress {
 		ticker := col.StartTicker(os.Stderr, 500*time.Millisecond)
@@ -97,6 +107,7 @@ func main() {
 		cfg.Seed = *seed
 		cfg.Parallelism = *parallel
 		cfg.Obs = col
+		cfg.Checkpoint = store
 		cfg.Sim.Kernel = kernel
 		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
 		runner, err := bwpart.NewRunner(cfg)

@@ -112,7 +112,10 @@ type Cache struct {
 	wbs      wbPool
 	deferred []*mem.Request // lower-level requests rejected, to retry
 	lruTick  uint64
-	stats    Stats
+	// snapID identifies this cache instance in checkpoint request origins
+	// (mem.Origin.Comp); assigned by the system builder via SetSnapID.
+	snapID int32
+	stats  Stats
 }
 
 // New builds a cache over the given lower level (the next cache or the
@@ -183,7 +186,7 @@ func (c *Cache) Access(now int64, req *mem.Request) bool {
 		}
 		c.stats.Hits++
 		if req.Done != nil {
-			c.events.scheduleDone(now+c.cfg.HitLatency, req.Done)
+			c.events.scheduleDone(now+c.cfg.HitLatency, req)
 		}
 		return true
 	}
@@ -247,6 +250,7 @@ func (c *Cache) newMSHR(la uint64, app int) *mshr {
 	m.app = app
 	m.fillReq.App = app
 	m.fillReq.Addr = la * uint64(c.cfg.LineBytes)
+	m.fillReq.Origin = mem.Origin{Kind: mem.OriginCacheFill, Comp: c.snapID, Key: la}
 	return m
 }
 
@@ -358,10 +362,10 @@ func (c *Cache) NextEventCycle(now int64) (int64, bool) {
 func (c *Cache) runEvents(now int64) {
 	for len(c.events.h) > 0 && c.events.h[0].cycle <= now {
 		ev := c.events.h.Pop()
-		if ev.done != nil {
-			ev.done(ev.cycle)
-		} else {
+		if ev.send {
 			c.sendLower(ev.cycle, ev.req)
+		} else {
+			ev.req.Done(ev.cycle)
 		}
 	}
 }

@@ -13,15 +13,18 @@ import (
 // event fires; the fill's Done runs; the writeback's Done runs), so each
 // is recycled through a small free list instead of re-allocated.
 
-// cev is one scheduled cache action: deliver a completion callback (done
-// != nil) or forward a request to the lower level. Before orders by
+// cev is one scheduled cache action on a request: forward it to the lower
+// level (send) or deliver its completion callback (!send). Carrying the
+// request itself — rather than a bare closure — keeps the event queue
+// serializable: a checkpoint captures the request's identity and a restore
+// re-links the event to the restored request object. Before orders by
 // (cycle, seq) — the same strict total order as the closure-based event
 // queue this replaces, so dispatch order is bit-identical.
 type cev struct {
 	cycle int64
 	seq   uint64
-	done  func(cycle int64)
 	req   *mem.Request
+	send  bool
 }
 
 func (a cev) Before(b cev) bool {
@@ -37,16 +40,17 @@ type cacheEvents struct {
 	seq uint64
 }
 
-// scheduleDone schedules done(cycle) at cycle (hit callbacks).
-func (q *cacheEvents) scheduleDone(cycle int64, done func(int64)) {
+// scheduleDone schedules req.Done(cycle) at cycle (hit callbacks). The
+// request must have a completion callback; callers guard.
+func (q *cacheEvents) scheduleDone(cycle int64, req *mem.Request) {
 	q.seq++
-	q.h.Push(cev{cycle: cycle, seq: q.seq, done: done})
+	q.h.Push(cev{cycle: cycle, seq: q.seq, req: req})
 }
 
 // scheduleSend schedules req to be sent to the lower level at cycle.
 func (q *cacheEvents) scheduleSend(cycle int64, req *mem.Request) {
 	q.seq++
-	q.h.Push(cev{cycle: cycle, seq: q.seq, req: req})
+	q.h.Push(cev{cycle: cycle, seq: q.seq, req: req, send: true})
 }
 
 func (q *cacheEvents) len() int { return len(q.h) }
@@ -69,6 +73,9 @@ type wbReq struct {
 // wbPool recycles writeback requests.
 type wbPool struct {
 	free []*wbReq
+	// comp is the owning cache's snapshot id, stamped into each handed-out
+	// request's Origin so checkpoints can attribute retained writebacks.
+	comp int32
 }
 
 // get returns a ready-to-send writeback request for (app, addr).
@@ -84,5 +91,6 @@ func (p *wbPool) get(app int, addr uint64) *mem.Request {
 	}
 	w.req.App = app
 	w.req.Addr = addr
+	w.req.Origin = mem.Origin{Kind: mem.OriginCacheWB, Comp: p.comp}
 	return &w.req
 }

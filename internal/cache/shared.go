@@ -27,7 +27,10 @@ type SharedCache struct {
 	wbs      wbPool
 	deferred []*mem.Request
 	lruTick  uint64
-	stats    []Stats // per app
+	// snapID identifies this cache instance in checkpoint request origins
+	// (mem.Origin.Comp); assigned by the system builder via SetSnapID.
+	snapID int32
+	stats  []Stats // per app
 	// MSHRs are also partitioned: without a per-app cap, backlogged
 	// streaming applications monopolize the shared miss registers and
 	// lighter applications lose every re-allocation race.
@@ -157,7 +160,7 @@ func (c *SharedCache) Access(now int64, req *mem.Request) bool {
 		}
 		c.stats[req.App].Hits++
 		if req.Done != nil {
-			c.events.scheduleDone(now+c.cfg.HitLatency, req.Done)
+			c.events.scheduleDone(now+c.cfg.HitLatency, req)
 		}
 		return true
 	}
@@ -205,6 +208,7 @@ func (c *SharedCache) newMSHR(la uint64, app int) *mshr {
 	m.app = app
 	m.fillReq.App = app
 	m.fillReq.Addr = la * uint64(c.cfg.LineBytes)
+	m.fillReq.Origin = mem.Origin{Kind: mem.OriginCacheFill, Comp: c.snapID, Key: la}
 	return m
 }
 
@@ -342,10 +346,10 @@ func (c *SharedCache) NextEventCycle(now int64) (int64, bool) {
 func (c *SharedCache) runEvents(now int64) {
 	for len(c.events.h) > 0 && c.events.h[0].cycle <= now {
 		ev := c.events.h.Pop()
-		if ev.done != nil {
-			ev.done(ev.cycle)
-		} else {
+		if ev.send {
 			c.sendLower(ev.cycle, ev.req)
+		} else {
+			ev.req.Done(ev.cycle)
 		}
 	}
 }

@@ -123,6 +123,13 @@ type Core struct {
 	// completion closure built once, so issuing a load allocates nothing in
 	// steady state. A slot returns to the free list inside its own Done.
 	loadFree []*loadSlot
+	// active registers the in-flight load slots (issued, fill not yet
+	// delivered) so a checkpoint can serialize them and LoadRequest can
+	// resolve a restored request id back to its live slot. A slot joins on
+	// successful issue and leaves inside its own Done (swap-remove via apos).
+	active []*loadSlot
+	// loadSeq issues each in-flight load a unique id (mem.Origin.Key).
+	loadSeq uint64
 	// storeReq is the reusable posted-store request. Stores have no
 	// completion callback and mem.Port implementations do not retain
 	// callback-free requests past Access, so one scratch request serves
@@ -137,6 +144,8 @@ type loadSlot struct {
 	req  mem.Request
 	slot int  // ROB slot completed by the fill
 	cold bool // counted against the MLP bound
+	id   uint64
+	apos int // position in Core.active while in flight
 }
 
 // New builds a core for application app over the given L1 port and
@@ -340,11 +349,16 @@ func (c *Core) issueMem(now int64, instr *Instr) bool {
 	ls.slot = c.reserveROB()
 	ls.cold = instr.Cold
 	ls.req.Addr = instr.Addr
+	ls.id = c.loadSeq
+	c.loadSeq++
+	ls.req.Origin.Key = ls.id
 	if !c.l1.Access(now, &ls.req) {
 		c.unreserveROB()
 		c.loadFree = append(c.loadFree, ls)
 		return false
 	}
+	ls.apos = len(c.active)
+	c.active = append(c.active, ls)
 	c.stats.Loads++
 	if instr.Cold {
 		c.outstandingLoads++
@@ -362,13 +376,26 @@ func (c *Core) newLoad() *loadSlot {
 		c.loadFree = c.loadFree[:n-1]
 		return ls
 	}
+	return c.buildLoadSlot()
+}
+
+// buildLoadSlot constructs a load slot with its completion closure. The
+// closure deregisters the slot from the active set before recycling it.
+func (c *Core) buildLoadSlot() *loadSlot {
 	ls := &loadSlot{}
 	ls.req.App = c.app
+	ls.req.Origin = mem.Origin{Kind: mem.OriginCoreLoad, Comp: int32(c.app)}
 	ls.req.Done = func(int64) {
 		c.rob[ls.slot].done = true
 		if ls.cold {
 			c.outstandingLoads--
 		}
+		last := len(c.active) - 1
+		moved := c.active[last]
+		c.active[ls.apos] = moved
+		moved.apos = ls.apos
+		c.active[last] = nil
+		c.active = c.active[:last]
 		c.loadFree = append(c.loadFree, ls)
 	}
 	return ls

@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"fmt"
+
+	"bwpart/internal/mem"
+)
+
+// loadState is the serialized form of one in-flight load slot.
+type loadState struct {
+	id   uint64
+	slot int
+	cold bool
+	addr uint64
+}
+
+// CoreState is an opaque snapshot of a Core's mutable state. It shares no
+// memory with the core: one state may restore any number of cores built
+// with the same configuration and stream shape.
+type CoreState struct {
+	// baseIPC/maxLoads capture cfg fields refreshParams mutates for
+	// dynamic streams.
+	baseIPC  float64
+	maxLoads int
+
+	rob              []robEntry
+	robHead          int
+	robCount         int
+	credit           float64
+	outstandingLoads int
+	nextRefresh      int64
+	hasPending       bool
+	pending          Instr
+	loads            []loadState
+	loadSeq          uint64
+	stats            Stats
+}
+
+// Snapshot captures the core's mutable state. In-flight loads are recorded
+// by id; the requests themselves are re-created by Restore and re-linked to
+// whoever retained them (caches, controller) via mem.Resolver.
+func (c *Core) Snapshot() *CoreState {
+	st := &CoreState{
+		baseIPC:          c.cfg.BaseIPC,
+		maxLoads:         c.cfg.MaxOutstandingLoads,
+		rob:              append([]robEntry(nil), c.rob...),
+		robHead:          c.robHead,
+		robCount:         c.robCount,
+		credit:           c.credit,
+		outstandingLoads: c.outstandingLoads,
+		nextRefresh:      c.nextRefresh,
+		hasPending:       c.pending != nil,
+		loads:            make([]loadState, len(c.active)),
+		loadSeq:          c.loadSeq,
+		stats:            c.stats,
+	}
+	if c.pending != nil {
+		st.pending = *c.pending
+	}
+	for i, ls := range c.active {
+		st.loads[i] = loadState{id: ls.id, slot: ls.slot, cold: ls.cold, addr: ls.req.Addr}
+	}
+	return st
+}
+
+// Restore overwrites the core's mutable state from a snapshot taken on a
+// core with the same ROB size. In-flight load slots are rebuilt with fresh
+// completion closures pointing at this core; the free pool is dropped (it
+// regrows on demand).
+func (c *Core) Restore(st *CoreState) error {
+	if st == nil {
+		return fmt.Errorf("cpu: nil core state")
+	}
+	if len(st.rob) != len(c.rob) {
+		return fmt.Errorf("cpu: ROB size mismatch: state has %d, core has %d", len(st.rob), len(c.rob))
+	}
+	c.cfg.BaseIPC = st.baseIPC
+	c.cfg.MaxOutstandingLoads = st.maxLoads
+	copy(c.rob, st.rob)
+	c.robHead = st.robHead
+	c.robCount = st.robCount
+	c.credit = st.credit
+	c.outstandingLoads = st.outstandingLoads
+	c.nextRefresh = st.nextRefresh
+	if st.hasPending {
+		c.pendingBuf = st.pending
+		c.pending = &c.pendingBuf
+	} else {
+		c.pending = nil
+	}
+	c.loadFree = c.loadFree[:0]
+	c.active = c.active[:0]
+	for _, ld := range st.loads {
+		ls := c.buildLoadSlot()
+		ls.slot = ld.slot
+		ls.cold = ld.cold
+		ls.id = ld.id
+		ls.req.Addr = ld.addr
+		ls.req.Origin.Key = ld.id
+		ls.apos = len(c.active)
+		c.active = append(c.active, ls)
+	}
+	c.loadSeq = st.loadSeq
+	c.stats = st.stats
+	return nil
+}
+
+// LoadRequest resolves an in-flight load id (mem.Origin.Key of an
+// OriginCoreLoad request) to the live request owned by this core. The
+// active set is bounded by the MSHR/MLP limits, so a linear scan is fine.
+func (c *Core) LoadRequest(id uint64) (*mem.Request, error) {
+	for _, ls := range c.active {
+		if ls.id == id {
+			return &ls.req, nil
+		}
+	}
+	return nil, fmt.Errorf("cpu: no in-flight load with id %d on app %d", id, c.app)
+}

@@ -1,0 +1,100 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bwpart/internal/workload"
+	"bwpart/internal/xrand"
+)
+
+// CheckpointStore persists finished (mix, scheme) sweep cells as JSON files
+// so an interrupted RunGrid resumes where it stopped instead of starting
+// over. Files are keyed by mix, scheme, and a fingerprint of every
+// configuration knob that affects the measurement, so results recorded under
+// a different configuration are never mistaken for the current sweep's — a
+// stale file is simply a cache miss.
+type CheckpointStore struct {
+	dir string
+}
+
+// NewCheckpointStore opens (creating if needed) a checkpoint directory.
+func NewCheckpointStore(dir string) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exper: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exper: checkpoint dir: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// fingerprint folds every configuration field that influences a cell's
+// result into one hash. Two runners with equal fingerprints produce
+// bit-identical cells, so a stored cell is reusable exactly when the
+// fingerprints match.
+func (r *Runner) fingerprint() uint64 {
+	c := r.cfg
+	var power string
+	if c.Sim.Power != nil {
+		power = fmt.Sprintf("%+v", *c.Sim.Power)
+	}
+	desc := fmt.Sprintf("%+v|%+v|%+v|%+v|shared=%v|quota=%v|pf=%d|warm=%d|qcap=%d|kernel=%d|power=%s|%d|%d|%d|seed=%d",
+		c.Sim.DRAM, c.Sim.L1, c.Sim.L2, c.Sim.Core,
+		c.Sim.SharedL2, c.Sim.L2WayQuota, c.Sim.L2PrefetchDepth,
+		c.Sim.WarmupInstructions, c.Sim.QueueCap, c.Sim.Kernel, power,
+		c.ProfileCycles, c.SettleCycles, c.MeasureCycles, c.Seed)
+	return xrand.Mix(xrand.HashString(desc))
+}
+
+// cellPath names the file for one (mix, scheme) cell under the runner's
+// configuration fingerprint.
+func (s *CheckpointStore) cellPath(r *Runner, mixName, scheme string) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s__%s__%016x.json", mixName, scheme, r.fingerprint()))
+}
+
+// Load returns the stored cell for (mix, scheme) under r's configuration,
+// or (nil, false) when absent, unreadable, or recorded under a different
+// configuration — any such miss just means the cell is re-simulated.
+func (s *CheckpointStore) Load(r *Runner, mix workload.Mix, scheme string) (*MixRun, bool) {
+	data, err := os.ReadFile(s.cellPath(r, mix.Name, scheme))
+	if err != nil {
+		return nil, false
+	}
+	var run MixRun
+	if err := json.Unmarshal(data, &run); err != nil {
+		return nil, false
+	}
+	if run.Mix.Name != mix.Name || run.Scheme != scheme {
+		return nil, false
+	}
+	return &run, true
+}
+
+// Save atomically persists one finished cell (temp file + rename), so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func (s *CheckpointStore) Save(r *Runner, run *MixRun) error {
+	data, err := json.Marshal(run)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".cell-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), s.cellPath(r, run.Mix.Name, run.Scheme))
+}

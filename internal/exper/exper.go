@@ -46,6 +46,10 @@ type Config struct {
 	// memory-controller queue-depth statistics for every run. Nil disables
 	// observability at negligible cost.
 	Obs *obs.Collector
+	// Checkpoint, when set, persists every finished (mix, scheme) cell of a
+	// RunGrid sweep and resumes an interrupted sweep by loading the cells
+	// already on disk instead of re-simulating them.
+	Checkpoint *CheckpointStore
 }
 
 // Default returns the full-fidelity configuration used for the recorded
@@ -188,9 +192,22 @@ type MixRun struct {
 	Values map[metrics.Objective]float64
 }
 
-// RunMix simulates one mix under one scheme (NoPartitioning or a core
-// scheme name) and evaluates all four objectives.
-func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
+// preparedMix is a mix's warmed base system plus its profile vectors: the
+// shared prefix of every per-scheme measurement. RunGrid prepares each mix
+// once and forks the base per scheme, so the functional warmup is paid once
+// per mix instead of once per (mix, scheme) cell.
+type preparedMix struct {
+	mix      workload.Mix
+	base     *sim.System
+	cp       *sim.Checkpoint
+	apcAlone []float64
+	api      []float64
+	ipcAlone []float64
+}
+
+// prepareMix builds the mix's system, runs the functional warmup, and
+// snapshots the warmed state.
+func (r *Runner) prepareMix(mix workload.Mix) (*preparedMix, error) {
 	profs, err := mix.Profiles()
 	if err != nil {
 		return nil, err
@@ -206,9 +223,32 @@ func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
 	stop := r.cfg.Obs.StageStart(obs.StageWarmup)
 	sys.Warmup()
 	stop()
+	cp, err := sys.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return &preparedMix{mix: mix, base: sys, cp: cp, apcAlone: apcAlone, api: api, ipcAlone: ipcAlone}, nil
+}
+
+// measureScheme forks the prepared base and measures one scheme on the
+// fork. The base itself is never advanced, so any number of schemes can be
+// measured concurrently from one prepared mix (forked runs are bit-identical
+// to cold runs; the differential tests in this package enforce it).
+func (r *Runner) measureScheme(p *preparedMix, scheme string) (*MixRun, error) {
+	sys, err := p.base.ForkAt(p.cp)
+	if err != nil {
+		return nil, err
+	}
+	return r.measureOn(p, sys, scheme)
+}
+
+// measureOn applies scheme to sys and runs the settle+measure suffix of a
+// mix run, evaluating all four objectives.
+func (r *Runner) measureOn(p *preparedMix, sys *sim.System, scheme string) (*MixRun, error) {
 	if r.cfg.Tracer != nil {
 		sys.Controller().SetTracer(r.cfg.Tracer)
 	}
+	var err error
 	if scheme == NoPartitioning {
 		err = sys.ApplyNoPartitioning()
 	} else {
@@ -217,12 +257,12 @@ func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = sys.ApplyScheme(sch, apcAlone, api)
+		err = sys.ApplyScheme(sch, p.apcAlone, p.api)
 	}
 	if err != nil {
 		return nil, err
 	}
-	stop = r.cfg.Obs.StageStart(obs.StageSettle)
+	stop := r.cfg.Obs.StageStart(obs.StageSettle)
 	sys.Run(r.cfg.SettleCycles)
 	stop()
 	sys.ResetStats()
@@ -232,21 +272,33 @@ func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
 	res := sys.Results()
 
 	run := &MixRun{
-		Mix:      mix,
+		Mix:      p.mix,
 		Scheme:   scheme,
-		IPCAlone: ipcAlone,
-		APCAlone: apcAlone,
-		API:      api,
+		IPCAlone: p.ipcAlone,
+		APCAlone: p.apcAlone,
+		API:      p.api,
 		Result:   res,
 		Values:   make(map[metrics.Objective]float64, 4),
 	}
 	shared := res.IPCs()
 	for _, obj := range metrics.Objectives() {
-		v, err := obj.Eval(shared, ipcAlone)
+		v, err := obj.Eval(shared, p.ipcAlone)
 		if err != nil {
-			return nil, fmt.Errorf("exper: %s/%s: %w", mix.Name, scheme, err)
+			return nil, fmt.Errorf("exper: %s/%s: %w", p.mix.Name, scheme, err)
 		}
 		run.Values[obj] = v
 	}
 	return run, nil
+}
+
+// RunMix simulates one mix under one scheme (NoPartitioning or a core
+// scheme name) and evaluates all four objectives. Single-cell runs measure
+// directly on the prepared base; sweeps go through RunGrid, which shares
+// one prepared base across all of a mix's schemes.
+func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
+	p, err := r.prepareMix(mix)
+	if err != nil {
+		return nil, err
+	}
+	return r.measureOn(p, p.base, scheme)
 }

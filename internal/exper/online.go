@@ -74,6 +74,7 @@ func (r *Runner) RunOnline(mix workload.Mix, scheme string, epochCycles int64, e
 	}
 	var est []float64
 	var statsBuf []memctrl.AppStats // reused across epochs; the tracker never retains it
+	var apiBuf []float64            // reused across epochs
 	for e := 0; e < epochs; e++ {
 		sys.ResetStats()
 		sys.Run(epochCycles)
@@ -82,8 +83,11 @@ func (r *Runner) RunOnline(mix workload.Mix, scheme string, epochCycles int64, e
 		if err != nil {
 			return nil, err
 		}
-		// API from the same window (it is partitioning-invariant).
-		apis := sys.Results().APIs()
+		// API from the same window (it is partitioning-invariant). The epoch
+		// loop only needs the API vector, not a full Result — APIsInto skips
+		// the bandwidth/energy bookkeeping and reuses the buffer.
+		apiBuf = sys.APIsInto(apiBuf)
+		apis := apiBuf
 		for i := range apis {
 			if apis[i] <= 0 {
 				// A starved app retired too little to estimate API; fall

@@ -175,22 +175,84 @@ func Grid(mixes []workload.Mix, schemes []string) []GridCell {
 	return cells
 }
 
-// RunGrid is the experiment engine's sweep entry point: it pre-warms the
-// alone-profile cache, then fans every (mix, scheme) cell out across the
-// worker pool. Results arrive in deterministic row-major order matching
-// Grid(mixes, schemes). ctx cancels the sweep between simulations.
+// RunGrid is the experiment engine's sweep entry point. Grid points sharing
+// a mix share their entire pre-measurement history (workload, topology,
+// functional warmup), so the sweep runs in two phases: phase A prepares one
+// warmed, checkpointed base per mix (in parallel across mixes); phase B
+// forks that base for every (mix, scheme) cell and measures the fork (in
+// parallel across cells). The base is never advanced after its snapshot —
+// every cell runs on its own fork — so concurrent cells of one mix share no
+// mutable state, and each cell's result is bit-identical to a cold run.
+//
+// With Config.Checkpoint set, finished cells are persisted and an
+// interrupted sweep resumes by loading them; only mixes with missing cells
+// are profiled and prepared. Results arrive in deterministic row-major
+// order matching Grid(mixes, schemes). ctx cancels the sweep between
+// simulations.
 func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []string) ([]*MixRun, error) {
-	if err := r.warmAloneCache(ctx, mixes); err != nil {
-		return nil, err
-	}
 	cells := Grid(mixes, schemes)
 	results := make([]*MixRun, len(cells))
-	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(cells), func(i int) error {
-		run, err := r.RunMix(cells[i].Mix, cells[i].Scheme)
-		if err != nil {
-			return fmt.Errorf("%s/%s: %w", cells[i].Mix.Name, cells[i].Scheme, err)
+	missing := make([]int, 0, len(cells))
+	for i, cell := range cells {
+		if r.cfg.Checkpoint != nil {
+			if run, ok := r.cfg.Checkpoint.Load(r, cell.Mix, cell.Scheme); ok {
+				results[i] = run
+				continue
+			}
 		}
-		results[i] = run
+		missing = append(missing, i)
+	}
+	if len(missing) == 0 {
+		return results, nil
+	}
+
+	// Only mixes with missing cells need alone profiles and a warmed base.
+	needIdx := make([]int, 0, len(mixes))
+	seen := make(map[int]bool, len(mixes))
+	for _, ci := range missing {
+		mi := ci / len(schemes)
+		if !seen[mi] {
+			seen[mi] = true
+			needIdx = append(needIdx, mi)
+		}
+	}
+	needMixes := make([]workload.Mix, len(needIdx))
+	for k, mi := range needIdx {
+		needMixes[k] = mixes[mi]
+	}
+	if err := r.warmAloneCache(ctx, needMixes); err != nil {
+		return nil, err
+	}
+
+	// Phase A: warmup once per mix.
+	prepared := make([]*preparedMix, len(mixes))
+	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(needIdx), func(k int) error {
+		mi := needIdx[k]
+		p, err := r.prepareMix(mixes[mi])
+		if err != nil {
+			return fmt.Errorf("%s: %w", mixes[mi].Name, err)
+		}
+		prepared[mi] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase B: fork and measure every missing cell.
+	err = runJobs(ctx, r.parallelism(), r.cfg.Obs, len(missing), func(k int) error {
+		ci := missing[k]
+		cell := cells[ci]
+		run, err := r.measureScheme(prepared[ci/len(schemes)], cell.Scheme)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", cell.Mix.Name, cell.Scheme, err)
+		}
+		if r.cfg.Checkpoint != nil {
+			if err := r.cfg.Checkpoint.Save(r, run); err != nil {
+				return fmt.Errorf("%s/%s: checkpoint: %w", cell.Mix.Name, cell.Scheme, err)
+			}
+		}
+		results[ci] = run
 		return nil
 	})
 	if err != nil {

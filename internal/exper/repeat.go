@@ -8,6 +8,7 @@ import (
 	"bwpart/internal/mathx"
 	"bwpart/internal/metrics"
 	"bwpart/internal/workload"
+	"bwpart/internal/xrand"
 )
 
 // RepeatabilityRow summarizes one objective's variation across seeds.
@@ -30,6 +31,14 @@ type RepeatabilityResult struct {
 	Rows   []RepeatabilityRow
 }
 
+// subSeed derives the i-th sub-study seed from a base seed through a
+// splitmix64 mixer. Adjacent base seeds must not produce overlapping
+// derived sets — the old base+i derivation made seed bases 1 and 2 share
+// all but one of their runs, silently understating run-to-run variation.
+func subSeed(base int64, i int) int64 {
+	return int64(xrand.Mix(uint64(base), uint64(i)+1))
+}
+
 // Repeatability runs (mix, scheme) under `seeds` different seeds and
 // reports mean, standard deviation and RSD per objective. Each seed gets
 // its own runner so alone profiles are re-measured under that seed too.
@@ -41,7 +50,7 @@ func (r *Runner) Repeatability(mix workload.Mix, scheme string, seeds int) (*Rep
 	results := make([]*MixRun, seeds)
 	err := r.runBatch(seeds, func(i int) error {
 		cfg := r.cfg
-		cfg.Seed = r.cfg.Seed + int64(i)
+		cfg.Seed = subSeed(r.cfg.Seed, i)
 		sub, err := NewRunner(cfg)
 		if err != nil {
 			return err

@@ -1,0 +1,73 @@
+package exper
+
+import (
+	"testing"
+
+	"bwpart/internal/workload"
+)
+
+// benchSweepConfig amplifies the warmup so the benchmark pair isolates what
+// checkpointed sweeps save: with K schemes per mix, the cold path pays the
+// functional warmup K times, the forked path once. The measured windows stay
+// short so warmup dominates, as it does in full-fidelity sweeps (Default()
+// fast-forwards 100x more instructions than Quick()).
+func benchSweepConfig() Config {
+	cfg := Quick()
+	cfg.Sim.WarmupInstructions = 1_500_000
+	cfg.ProfileCycles = 150_000
+	cfg.SettleCycles = 20_000
+	cfg.MeasureCycles = 100_000
+	return cfg
+}
+
+// benchSweepRunner builds a runner with the alone cache pre-warmed, so both
+// sweep variants measure only the per-cell simulation work.
+func benchSweepRunner(b *testing.B) (*Runner, workload.Mix, []string) {
+	b.Helper()
+	r, err := NewRunner(benchSweepConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mix, err := workload.MixByName("hetero-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range mix.Benchmarks {
+		if _, err := r.Alone(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r, mix, []string{NoPartitioning, "equal", "square-root", "priority-apc"}
+}
+
+// BenchmarkSweep compares one mix x K schemes simulated cold (one warmup per
+// cell) against the forked path RunGrid uses (one warmup per mix, one fork
+// per cell). benchjson derives sweep_fork_speedup from the pair.
+func BenchmarkSweep(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		r, mix, schemes := benchSweepRunner(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, scheme := range schemes {
+				if _, err := r.RunMix(mix, scheme); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("forked", func(b *testing.B) {
+		r, mix, schemes := benchSweepRunner(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p, err := r.prepareMix(mix)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, scheme := range schemes {
+				if _, err := r.measureScheme(p, scheme); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -14,7 +14,58 @@ type Request struct {
 	// Done, if non-nil, is invoked exactly once when the access completes,
 	// with the completion cycle. Posted writes may have a nil Done.
 	Done func(cycle int64)
+	// Origin names the component object that owns this Request, so a
+	// checkpoint can serialize a retained *Request as plain data and a
+	// restore can resolve it back to the live object (whose Done closure
+	// points into the restored component). Requests that are never retained
+	// across an Access call (posted stores) may leave it zero.
+	Origin Origin
 }
+
+// OriginKind classifies the owner of a retained Request.
+type OriginKind uint8
+
+const (
+	// OriginNone marks a request with no snapshot identity.
+	OriginNone OriginKind = iota
+	// OriginCoreLoad is a core load slot; Key is the slot's load id.
+	OriginCoreLoad
+	// OriginCacheFill is a cache MSHR's fill request; Key is the line
+	// address, Comp the owning cache's snapshot id.
+	OriginCacheFill
+	// OriginCacheWB is a cache writeback; Comp is the owning cache's
+	// snapshot id (writebacks carry no key: App+Addr identify the data).
+	OriginCacheWB
+)
+
+// Origin identifies the owner of a retained Request: the kind of component,
+// which component instance (Comp, a snapshot id assigned at system build),
+// and an owner-specific Key.
+type Origin struct {
+	Kind OriginKind
+	Comp int32
+	Key  uint64
+}
+
+// RequestState is the serialized form of a retained Request: enough to find
+// the owning object after restore (Origin) plus the payload fields for
+// owners that recreate the request rather than locate it.
+type RequestState struct {
+	Origin Origin
+	App    int
+	Addr   uint64
+	Write  bool
+}
+
+// CaptureRequest serializes a retained request for a checkpoint.
+func CaptureRequest(r *Request) RequestState {
+	return RequestState{Origin: r.Origin, App: r.App, Addr: r.Addr, Write: r.Write}
+}
+
+// Resolver maps a captured RequestState back to the live *Request owned by
+// the restored component graph. Restores thread one through every component
+// that retained foreign requests (controller queues, cache waiter lists).
+type Resolver func(RequestState) (*Request, error)
 
 // Port accepts memory requests. Access returns false when the component
 // cannot take the request this cycle (structural hazard: MSHRs or queue

@@ -133,14 +133,14 @@ func New(dev *dram.Device, numApps, queueCap int, sched Scheduler) (*Controller,
 
 // completion is one scheduled access retirement; Before orders the typed
 // completion queue by (cycle, seq) — the same total order as the closure
-// event queue it replaces.
+// event queue it replaces. It carries the request itself (stable until its
+// Done fires, which is this completion) so the retirement stats read the
+// request's fields and a checkpoint can serialize the pending completion.
 type completion struct {
 	cycle int64
 	seq   uint64
 	wait  int64
-	done  func(cycle int64)
-	app   int32
-	write bool
+	req   *mem.Request
 }
 
 func (a completion) Before(b completion) bool {
@@ -305,15 +305,15 @@ func (c *Controller) runCompletions(now int64) {
 		ev := c.completions.Pop()
 		c.inFlight--
 		c.nextTry = 0 // a pipeline slot and a bank freed: re-scan
-		st := &c.stats[ev.app]
-		if ev.write {
+		st := &c.stats[ev.req.App]
+		if ev.req.Write {
 			st.Writes++
 		} else {
 			st.Reads++
 		}
 		st.QueueWaitCycles += ev.wait
-		if ev.done != nil {
-			ev.done(ev.cycle)
+		if ev.req.Done != nil {
+			ev.req.Done(ev.cycle)
 		}
 	}
 }
@@ -354,9 +354,7 @@ func (c *Controller) issueOne(now int64) *Entry {
 		cycle: complete,
 		seq:   c.compSeq,
 		wait:  now - e.Arrive,
-		done:  e.Req.Done,
-		app:   int32(e.Req.App),
-		write: e.Req.Write,
+		req:   e.Req,
 	})
 	return e
 }

@@ -2,9 +2,9 @@ package memctrl
 
 import (
 	"errors"
-	"math/rand"
 
 	"bwpart/internal/dram"
+	"bwpart/internal/xrand"
 )
 
 // This file implements simplified but mechanism-faithful versions of the
@@ -265,7 +265,7 @@ type TCM struct {
 	servedAt    []int64
 	nextCluster int64
 	nextShuffle int64
-	rng         *rand.Rand
+	rng         xrand.RNG
 	bwCluster   []int
 	init        bool
 }
@@ -287,7 +287,7 @@ func NewTCM(numApps int, clusterQuantum, shuffleQuantum int64, latencyShare floa
 		LatencyShare:   latencyShare,
 		rank:           make([]int, numApps),
 		servedAt:       make([]int64, numApps),
-		rng:            rand.New(rand.NewSource(seed)),
+		rng:            *xrand.New(xrand.Mix(uint64(seed), xrand.HashString("TCM"))),
 	}
 	for i := range t.rank {
 		t.rank[i] = i

@@ -349,11 +349,14 @@ func (c *Controller) indexRemove(e *Entry, q *fifo, depth int) {
 	if ix.rowOn {
 		if ix.window <= 0 || depth < ix.window {
 			c.bucketRemove(e)
-		}
-		// The removal shifts every deeper entry up one position: the entry
-		// that was sitting just past the window becomes eligible.
-		if ix.window > 0 && q.len() > ix.window {
-			c.bucketAdd(q.at(ix.window))
+			// The removal shifts every deeper entry up one position: the
+			// entry that was sitting just past the window becomes eligible.
+			// A removal at depth >= window (WriteDrain can pick beyond the
+			// inner FR-FCFS window) leaves the window's contents unchanged,
+			// so adding q.at(window) there would double-insert it.
+			if ix.window > 0 && q.len() > ix.window {
+				c.bucketAdd(q.at(ix.window))
+			}
 		}
 	}
 }

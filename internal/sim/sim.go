@@ -83,6 +83,9 @@ type Config struct {
 	// bit-identical by contract; this switch exists for differential tests
 	// and for debugging suspected index corruption.
 	ReferencePick bool
+	// Power overrides the DRAM power parameters used for the window energy
+	// estimate in Results (nil = dram.DefaultPowerConfig()).
+	Power *dram.PowerConfig
 }
 
 // DefaultConfig returns the paper's baseline system (Table II): four-core
@@ -117,6 +120,10 @@ type System struct {
 	now   int64
 	// statsBuf is the reused controller-stats snapshot buffer for Results.
 	statsBuf []memctrl.AppStats
+	// snapCaches lists every cache in snap-id order (shared L2 first when
+	// present, then per-app L2/L1 in construction order) so the checkpoint
+	// resolver can dispatch on mem.Origin.Comp.
+	snapCaches []snapCache
 	// statsStart marks the cycle ResetStats was last called, for APC rates.
 	statsStart int64
 	// busBusyAtReset snapshots cumulative bus-busy cycles at ResetStats so
@@ -304,6 +311,9 @@ type Result struct {
 	Energy dram.Energy
 	// EnergyPerBitPJ is the dynamic DRAM energy per transferred bit.
 	EnergyPerBitPJ float64
+	// EnergyError records why the energy estimate is missing (zero Energy),
+	// e.g. an invalid power configuration. Empty when the estimate is valid.
+	EnergyError string
 }
 
 // Results snapshots the current window's measurements.
@@ -355,12 +365,36 @@ func (s *System) Results() Result {
 			Activates:    devNow.Activates - s.devStatsAtReset.Activates,
 			RowHits:      devNow.RowHits - s.devStatsAtReset.RowHits,
 		}
-		if e, err := dram.EstimateEnergy(s.cfg.DRAM, dram.DefaultPowerConfig(), delta, window); err == nil {
+		power := dram.DefaultPowerConfig()
+		if s.cfg.Power != nil {
+			power = *s.cfg.Power
+		}
+		if e, err := dram.EstimateEnergy(s.cfg.DRAM, power, delta, window); err != nil {
+			res.EnergyError = err.Error()
+		} else {
 			res.Energy = e
 			res.EnergyPerBitPJ = dram.EnergyPerBitPJ(s.cfg.DRAM, e, delta)
 		}
 	}
 	return res
+}
+
+// APIsInto appends the per-app off-chip accesses-per-instruction of the
+// current window to buf[:0] and returns it. It is the allocation-free
+// accessor for per-epoch readers (the online repartitioning loop) that only
+// need the API vector, not a full Result.
+func (s *System) APIsInto(buf []float64) []float64 {
+	s.statsBuf = s.ctrl.StatsInto(s.statsBuf)
+	buf = buf[:0]
+	for i := range s.cores {
+		retired := s.cores[i].Stats().Retired
+		api := 0.0
+		if retired > 0 {
+			api = float64(s.statsBuf[i].Served()) / float64(retired)
+		}
+		buf = append(buf, api)
+	}
+	return buf
 }
 
 // IPCs returns the per-app IPC vector of the last window.

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/memctrl"
+)
+
+// snapshotSched builds one scheduler configuration under test. The set
+// spans the checkpoint-relevant shapes: stateless (FCFS), indexed
+// idle-skip-safe with writeback class state (WriteDrain+FR-FCFS), float tag
+// state (StartTimeFair), time-anchored fallback state (STFM), an RNG stream
+// (TCM), and live entry references (PARBS).
+type snapshotSched struct {
+	name   string
+	shared bool // also exercise the shared-L2 topology
+	make   func(n int) (memctrl.Scheduler, error)
+}
+
+func snapshotScheds() []snapshotSched {
+	shares := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		return s
+	}
+	return []snapshotSched{
+		{"FCFS", true, func(n int) (memctrl.Scheduler, error) { return memctrl.NewFCFS(), nil }},
+		{"FRFCFS+write-drain", true, func(n int) (memctrl.Scheduler, error) {
+			return memctrl.NewWriteDrain(memctrl.NewFRFCFS(4), 8, 2)
+		}},
+		{"StartTimeFair", false, func(n int) (memctrl.Scheduler, error) {
+			return memctrl.NewStartTimeFair(shares(n))
+		}},
+		{"BudgetThrottle", false, func(n int) (memctrl.Scheduler, error) {
+			return memctrl.NewBudgetThrottle(shares(n), 2_000)
+		}},
+		{"STFM", false, func(n int) (memctrl.Scheduler, error) { return memctrl.NewSTFM(n, 1.10) }},
+		{"ATLAS", false, func(n int) (memctrl.Scheduler, error) { return memctrl.NewATLAS(n, 50_000, 0.875) }},
+		{"TCM", false, func(n int) (memctrl.Scheduler, error) { return memctrl.NewTCM(n, 50_000, 5_000, 0.25, 7) }},
+		{"PARBS", false, func(n int) (memctrl.Scheduler, error) { return memctrl.NewPARBS(n, 5) }},
+	}
+}
+
+// measureTraced runs settle+measure on sys with a tracer attached and
+// returns the windowed result plus the issue trace.
+func measureTraced(sys *System, settle, measure int64) (Result, []traceRec) {
+	var trace []traceRec
+	sys.Controller().SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+		trace = append(trace, traceRec{cycle, app, addr, write})
+	})
+	sys.Run(settle)
+	sys.ResetStats()
+	sys.Run(measure)
+	return sys.Results(), trace
+}
+
+// buildWarm builds a system, installs the scheduler, and advances it
+// through functional warmup plus warm cycles of timed execution — the
+// shared prefix a checkpoint should let experiment sweeps pay once.
+func buildWarm(t *testing.T, shared, refPick bool, sched snapshotSched, warm int64) *System {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.SharedL2 = shared
+	cfg.ReferencePick = refPick
+	sys, err := New(cfg, mustProfiles(t, "lbm", "milc", "soplex", "povray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.make(sys.NumApps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Controller().SetScheduler(s); err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	sys.Run(warm)
+	return sys
+}
+
+// TestForkMatchesColdRun is the tentpole differential check: a system
+// forked from a checkpoint after warmup+warm cycles must produce the exact
+// issue trace and Result of an identically configured system that ran the
+// whole history cold, for every scheduler state shape, both topologies, and
+// both pick paths.
+func TestForkMatchesColdRun(t *testing.T) {
+	const warm, settle, measure = 25_000, 10_000, 60_000
+	for _, sched := range snapshotScheds() {
+		topos := []bool{false}
+		if sched.shared {
+			topos = append(topos, true)
+		}
+		for _, shared := range topos {
+			for _, refPick := range []bool{false, true} {
+				if refPick && sched.name != "FRFCFS+write-drain" {
+					continue // the reference seam only diverges code paths with an indexed picker
+				}
+				name := fmt.Sprintf("%s/shared=%v/ref=%v", sched.name, shared, refPick)
+				t.Run(name, func(t *testing.T) {
+					base := buildWarm(t, shared, refPick, sched, warm)
+					fork, err := base.Fork()
+					if err != nil {
+						t.Fatal(err)
+					}
+					forkRes, forkTrace := measureTraced(fork, settle, measure)
+
+					cold := buildWarm(t, shared, refPick, sched, warm)
+					coldRes, coldTrace := measureTraced(cold, settle, measure)
+
+					if !reflect.DeepEqual(coldRes, forkRes) {
+						t.Errorf("results diverge\ncold: %+v\nfork: %+v", coldRes, forkRes)
+					}
+					if !reflect.DeepEqual(coldTrace, forkTrace) {
+						t.Errorf("traces diverge (cold %d records, fork %d)", len(coldTrace), len(forkTrace))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestForkIndependence pins that parent and fork share no mutable state:
+// after forking, both must continue with identical traces, and running one
+// must not perturb the other.
+func TestForkIndependence(t *testing.T) {
+	sched := snapshotScheds()[1] // WriteDrain+FR-FCFS: pooled writebacks, index state
+	base := buildWarm(t, false, false, sched, 25_000)
+	fork, err := base.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run the fork to completion first; if it aliased parent state, the
+	// parent's subsequent run would diverge.
+	forkRes, forkTrace := measureTraced(fork, 10_000, 50_000)
+	baseRes, baseTrace := measureTraced(base, 10_000, 50_000)
+	if !reflect.DeepEqual(baseRes, forkRes) {
+		t.Errorf("results diverge\nbase: %+v\nfork: %+v", baseRes, forkRes)
+	}
+	if !reflect.DeepEqual(baseTrace, forkTrace) {
+		t.Errorf("traces diverge (base %d records, fork %d)", len(baseTrace), len(forkTrace))
+	}
+}
+
+// TestRestoreRoundTripMidRun is the property check: at any point mid-run —
+// queues backed up, MSHRs occupied, events pending — Restore(Snapshot())
+// into the same system must replay the continuation bit-identically. The
+// snapshot offsets sweep the measurement window so captures land in
+// different microarchitectural states.
+func TestRestoreRoundTripMidRun(t *testing.T) {
+	for _, offset := range []int64{1, 777, 5_000, 20_000} {
+		for _, sched := range []snapshotSched{snapshotScheds()[1], snapshotScheds()[4]} {
+			t.Run(fmt.Sprintf("%s/offset=%d", sched.name, offset), func(t *testing.T) {
+				sys := buildWarm(t, false, false, sched, 10_000)
+				sys.Run(offset)
+				cp, err := sys.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cp.Cycle() != sys.Now() {
+					t.Fatalf("checkpoint cycle %d, system at %d", cp.Cycle(), sys.Now())
+				}
+				firstRes, firstTrace := measureTraced(sys, 5_000, 30_000)
+				if err := sys.Restore(cp); err != nil {
+					t.Fatal(err)
+				}
+				if sys.Now() != cp.Cycle() {
+					t.Fatalf("restore left system at cycle %d, want %d", sys.Now(), cp.Cycle())
+				}
+				againRes, againTrace := measureTraced(sys, 5_000, 30_000)
+				if !reflect.DeepEqual(firstRes, againRes) {
+					t.Errorf("results diverge after restore\nfirst: %+v\nagain: %+v", firstRes, againRes)
+				}
+				if !reflect.DeepEqual(firstTrace, againTrace) {
+					t.Errorf("traces diverge after restore (first %d records, again %d)",
+						len(firstTrace), len(againTrace))
+				}
+			})
+		}
+	}
+}
+
+// TestSnapshotSharedTopologyRoundTrip covers the shared-L2 restore path
+// (way quotas, per-app MSHR occupancy) through a mid-run round trip.
+func TestSnapshotSharedTopologyRoundTrip(t *testing.T) {
+	sched := snapshotScheds()[1]
+	sys := buildWarm(t, true, false, sched, 15_000)
+	cp, err := sys.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstRes, firstTrace := measureTraced(sys, 5_000, 30_000)
+	if err := sys.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	againRes, againTrace := measureTraced(sys, 5_000, 30_000)
+	if !reflect.DeepEqual(firstRes, againRes) {
+		t.Errorf("results diverge after restore\nfirst: %+v\nagain: %+v", firstRes, againRes)
+	}
+	if !reflect.DeepEqual(firstTrace, againTrace) {
+		t.Errorf("traces diverge after restore (first %d, again %d)", len(firstTrace), len(againTrace))
+	}
+}
+
+// TestResultEnergyError pins the energy-estimate error path: an invalid
+// power configuration must surface in Result.EnergyError instead of being
+// silently swallowed with a zero Energy.
+func TestResultEnergyError(t *testing.T) {
+	cfg := fastCfg()
+	sys, err := New(cfg, mustProfiles(t, "milc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	sys.Run(20_000)
+	res := sys.Results()
+	if res.EnergyError != "" {
+		t.Fatalf("valid power config produced energy error %q", res.EnergyError)
+	}
+	if res.Energy.TotalNJ() <= 0 {
+		t.Fatalf("valid power config produced no energy estimate: %+v", res.Energy)
+	}
+
+	cfg.Power = &dram.PowerConfig{ActPreEnergyNJ: -1}
+	sys2, err := New(cfg, mustProfiles(t, "milc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2.Warmup()
+	sys2.Run(20_000)
+	res2 := sys2.Results()
+	if res2.EnergyError == "" {
+		t.Fatal("invalid power config produced no EnergyError")
+	}
+	if res2.Energy != (dram.Energy{}) {
+		t.Fatalf("invalid power config still produced energy: %+v", res2.Energy)
+	}
+}
+
+// TestAPIsIntoMatchesResults pins the allocation-free API accessor against
+// the full Results path, and checks it does not allocate.
+func TestAPIsIntoMatchesResults(t *testing.T) {
+	sys, err := New(fastCfg(), mustProfiles(t, "lbm", "milc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	sys.Run(30_000)
+	want := sys.Results().APIs()
+	buf := make([]float64, 0, sys.NumApps())
+	got := sys.APIsInto(buf)
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("APIsInto %v, Results().APIs() %v", got, want)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = sys.APIsInto(buf)
+	})
+	if allocs != 0 {
+		t.Errorf("APIsInto allocates %.1f times per call", allocs)
+	}
+}

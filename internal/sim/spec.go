@@ -67,6 +67,8 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 			return nil, fmt.Errorf("sim: shared L2: %w", err)
 		}
 		s.sharedL2 = shared
+		shared.SetSnapID(int32(len(s.snapCaches)))
+		s.snapCaches = append(s.snapCaches, shared)
 		s.comps = append(s.comps, shared)
 	}
 	for i, spec := range specs {
@@ -85,12 +87,16 @@ func NewFromSpecs(cfg Config, specs []AppSpec) (*System, error) {
 			if err != nil {
 				return nil, fmt.Errorf("sim: app %d L2: %w", i, err)
 			}
+			l2.SetSnapID(int32(len(s.snapCaches)))
+			s.snapCaches = append(s.snapCaches, l2)
 			l1Lower = l2
 		}
 		l1, err := cache.New(cfg.L1, l1Lower)
 		if err != nil {
 			return nil, fmt.Errorf("sim: app %d L1: %w", i, err)
 		}
+		l1.SetSnapID(int32(len(s.snapCaches)))
+		s.snapCaches = append(s.snapCaches, l1)
 		core, err := cpu.New(spec.Core, i, l1, spec.Stream)
 		if err != nil {
 			return nil, fmt.Errorf("sim: app %d core: %w", i, err)

@@ -1,10 +1,11 @@
 package workload
 
 import (
+	"fmt"
 	"math"
-	"math/rand"
 
 	"bwpart/internal/cpu"
+	"bwpart/internal/xrand"
 )
 
 // Address-space layout per application. Each app gets a disjoint 1 TiB
@@ -27,10 +28,13 @@ const (
 )
 
 // Generator produces the instruction stream for one application instance.
-// It implements cpu.Stream deterministically from its seed.
+// It implements cpu.Stream deterministically from its seed. All mutable
+// state is plain data (the RNG is an owned splitmix64), so a struct copy is
+// an independent continuation of the stream and GeneratorState captures it
+// exactly.
 type Generator struct {
 	p    Profile
-	rng  *rand.Rand
+	rng  xrand.RNG
 	base uint64 // per-app address-space base
 
 	gap      int // non-memory instructions remaining before the next ref
@@ -41,31 +45,23 @@ type Generator struct {
 }
 
 // NewGenerator builds a deterministic generator for profile p, placed in
-// application slot app (0-based core index), seeded by seed.
+// application slot app (0-based core index), seeded by seed. The stream is
+// derived by mixing (seed, app, benchmark name) through splitmix64, so
+// adjacent seeds and co-scheduled copies get statistically independent
+// streams.
 func NewGenerator(p Profile, app int, seed int64) (*Generator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := &Generator{
 		p:        p,
-		rng:      rand.New(rand.NewSource(seed ^ int64(app+1)*0x5851F42D4C957F2D ^ hashName(p.Name))),
+		rng:      *xrand.New(xrand.Mix(uint64(seed), uint64(app+1), xrand.HashString(p.Name))),
 		base:     uint64(app) << appRegionShift,
 		memProb:  p.MemRefsPerKI / 1000,
 		coldProb: p.ColdPerKI / p.MemRefsPerKI,
 	}
 	g.gap = g.drawGap()
 	return g, nil
-}
-
-// hashName folds a benchmark name into seed material so co-scheduled copies
-// of different benchmarks never share a random stream.
-func hashName(s string) int64 {
-	var h int64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= int64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // drawGap samples the count of non-memory instructions before the next
@@ -130,6 +126,38 @@ func (g *Generator) warmAddr() uint64 {
 	}
 	line := uint64(g.rng.Int63n(hotBytes / lineBytes))
 	return g.base + hotBase + line*lineBytes
+}
+
+// GeneratorState is the complete mutable state of a Generator, as plain
+// data suitable for checkpoints.
+type GeneratorState struct {
+	RNG    uint64
+	Gap    int
+	SeqPtr uint64
+}
+
+// StreamState captures the generator's mutable state.
+func (g *Generator) StreamState() any {
+	return GeneratorState{RNG: g.rng.State(), Gap: g.gap, SeqPtr: g.seqPtr}
+}
+
+// RestoreStreamState resumes the stream from a StreamState capture.
+func (g *Generator) RestoreStreamState(st any) error {
+	s, ok := st.(GeneratorState)
+	if !ok {
+		return fmt.Errorf("workload: cannot restore Generator from %T", st)
+	}
+	g.rng.Restore(s.RNG)
+	g.gap = s.Gap
+	g.seqPtr = s.SeqPtr
+	return nil
+}
+
+// ForkStream returns an independent continuation of the stream: the copy
+// and the original emit identical instructions from this point on.
+func (g *Generator) ForkStream() cpu.Stream {
+	cp := *g
+	return &cp
 }
 
 // Toucher receives functional warmup traffic (caches implement it).

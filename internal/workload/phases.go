@@ -75,6 +75,60 @@ func (g *PhasedGenerator) CoreParams() (float64, int) {
 // Switches returns how many phase transitions have occurred.
 func (g *PhasedGenerator) Switches() int64 { return g.switches }
 
+// PhasedState is the complete mutable state of a PhasedGenerator.
+type PhasedState struct {
+	Current   int
+	Remaining int64
+	Switches  int64
+	Gens      []GeneratorState
+}
+
+// StreamState captures the phased generator's mutable state, including
+// every per-phase generator stream.
+func (g *PhasedGenerator) StreamState() any {
+	st := PhasedState{
+		Current:   g.current,
+		Remaining: g.remaining,
+		Switches:  g.switches,
+		Gens:      make([]GeneratorState, len(g.gens)),
+	}
+	for i, gen := range g.gens {
+		st.Gens[i] = gen.StreamState().(GeneratorState)
+	}
+	return st
+}
+
+// RestoreStreamState resumes the stream from a StreamState capture.
+func (g *PhasedGenerator) RestoreStreamState(st any) error {
+	s, ok := st.(PhasedState)
+	if !ok {
+		return fmt.Errorf("workload: cannot restore PhasedGenerator from %T", st)
+	}
+	if len(s.Gens) != len(g.gens) {
+		return fmt.Errorf("workload: phase count mismatch: state has %d, generator has %d", len(s.Gens), len(g.gens))
+	}
+	g.current = s.Current
+	g.remaining = s.Remaining
+	g.switches = s.Switches
+	for i := range g.gens {
+		if err := g.gens[i].RestoreStreamState(s.Gens[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForkStream returns an independent continuation of the phased stream.
+func (g *PhasedGenerator) ForkStream() cpu.Stream {
+	cp := *g
+	cp.gens = make([]*Generator, len(g.gens))
+	for i, gen := range g.gens {
+		gc := *gen
+		cp.gens[i] = &gc
+	}
+	return &cp
+}
+
 // Warmup fast-forwards n instructions functionally (phase switching
 // included), installing lines into the given cache.
 func (g *PhasedGenerator) Warmup(t Toucher, n int64) {

@@ -1,0 +1,107 @@
+// Package xrand is the simulator's owned random number generator: a
+// splitmix64 stream whose entire state is one uint64. The simulator needs
+// two things math/rand cannot give it: a principled way to derive
+// independent streams from (seed, app, name) coordinates, and a state that
+// can be captured into a checkpoint and restored bit-exactly (rand.Rand
+// hides its state behind an interface). Splitmix64 (Steele, Lea &
+// Flood, OOPSLA'14 — the stream-splitting generator java.util.SplittableRandom
+// builds on) passes BigCrush at this state size and its finalizer doubles as
+// a high-quality mixing function for seed derivation.
+package xrand
+
+import "math"
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mix of z.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// golden is the splitmix64 stream increment (odd, 2^64/phi).
+const golden = 0x9e3779b97f4a7c15
+
+// Mix folds any number of seed coordinates into one well-distributed
+// 64-bit seed. Each part is absorbed through the splitmix64 finalizer, so
+// adjacent inputs (seed, seed+1) or sparse ones (app indices, name hashes)
+// land in unrelated regions of the seed space — unlike xor-of-products
+// mixing, where nearby coordinates produce correlated streams.
+func Mix(parts ...uint64) uint64 {
+	h := uint64(golden)
+	for _, p := range parts {
+		h = mix64(h ^ p)
+		h += golden
+	}
+	return mix64(h)
+}
+
+// HashString folds a string into seed material for Mix (FNV-1a).
+func HashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RNG is a splitmix64 generator. The zero value is a valid (seed 0)
+// generator; use New or Seed for a chosen stream. Copying the struct copies
+// the stream — that is the point: checkpoints store the state verbatim.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed (commonly a Mix result).
+func New(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Seed resets the generator to the given stream.
+func (r *RNG) Seed(seed uint64) { r.state = seed }
+
+// State returns the generator's full internal state.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore sets the generator's full internal state, resuming the stream
+// exactly where State captured it.
+func (r *RNG) Restore(state uint64) { r.state = state }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += golden
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+// Uniformity uses rejection sampling over the top 63 bits, matching the
+// guarantee (not the stream) of math/rand.Int63n.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("xrand: Int63n with non-positive n")
+	}
+	if n&(n-1) == 0 { // power of two
+		return int64(r.Uint64()>>1) & (n - 1)
+	}
+	max := int64(math.MaxInt64 - (math.MaxInt64+1)%uint64(n))
+	v := int64(r.Uint64() >> 1)
+	for v > max {
+		v = int64(r.Uint64() >> 1)
+	}
+	return v % n
+}
+
+// Shuffle pseudo-randomizes the order of n elements via swap, using the
+// Fisher-Yates algorithm (same contract as math/rand.Shuffle).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle with negative n")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.Int63n(int64(i + 1)))
+		swap(i, j)
+	}
+}

@@ -1,0 +1,127 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminismAndRestore(t *testing.T) {
+	r := New(Mix(42, 7))
+	var prefix []uint64
+	for i := 0; i < 10; i++ {
+		prefix = append(prefix, r.Uint64())
+	}
+	st := r.State()
+	var tail []uint64
+	for i := 0; i < 10; i++ {
+		tail = append(tail, r.Uint64())
+	}
+
+	// Same seed reproduces the whole stream.
+	r2 := New(Mix(42, 7))
+	for i, want := range prefix {
+		if got := r2.Uint64(); got != want {
+			t.Fatalf("replay diverged at %d: got %#x want %#x", i, got, want)
+		}
+	}
+	// Restore resumes mid-stream exactly.
+	r3 := New(0)
+	r3.Restore(st)
+	for i, want := range tail {
+		if got := r3.Uint64(); got != want {
+			t.Fatalf("restore diverged at %d: got %#x want %#x", i, got, want)
+		}
+	}
+	// Value copy of the struct is an independent identical stream.
+	r4 := New(Mix(42, 7))
+	cp := *r4
+	for i := 0; i < 20; i++ {
+		if a, b := r4.Uint64(), cp.Uint64(); a != b {
+			t.Fatalf("struct copy diverged at %d", i)
+		}
+	}
+}
+
+func TestMixDecorrelatesAdjacentSeeds(t *testing.T) {
+	// Adjacent base seeds must yield unrelated streams: the old base+i
+	// derivation made study i's stream literally equal study 0's stream at
+	// seed base+i. Mix'd streams should collide on ~0 of the first values.
+	const n = 1000
+	seen := make(map[uint64]bool, 4*n)
+	for s := uint64(0); s < 4; s++ {
+		r := New(Mix(1, s))
+		for i := 0; i < n; i++ {
+			v := r.Uint64()
+			if seen[v] {
+				t.Fatalf("seed streams share a value: seed part %d", s)
+			}
+			seen[v] = true
+		}
+	}
+	// And Mix itself must not be order-insensitive or collide trivially.
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Fatal("Mix is order-insensitive")
+	}
+	if Mix(0) == Mix(0, 0) {
+		t.Fatal("Mix ignores arity")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(Mix(9))
+	var sum float64
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestInt63n(t *testing.T) {
+	r := New(Mix(11))
+	for _, n := range []int64{1, 2, 3, 7, 64, 1000, 1 << 40} {
+		counts := make(map[int64]int)
+		for i := 0; i < 2000; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) out of range: %d", n, v)
+			}
+			counts[v%8]++
+		}
+		_ = counts
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int63n(0) did not panic")
+		}
+	}()
+	r.Int63n(0)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(Mix(13))
+	a := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	seen := make([]bool, len(a))
+	for _, v := range a {
+		if v < 0 || v >= len(seen) || seen[v] {
+			t.Fatalf("shuffle not a permutation: %v", a)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHashStringDistinct(t *testing.T) {
+	if HashString("gcc") == HashString("mcf") {
+		t.Fatal("distinct names hash equal")
+	}
+	if HashString("") == HashString("a") {
+		t.Fatal("empty and non-empty hash equal")
+	}
+}

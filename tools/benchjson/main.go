@@ -217,6 +217,7 @@ func derive(rep *Report, byName map[string]*Bench) {
 	}
 	speedup("idle_speedup", "BenchmarkRunIdle/naive", "BenchmarkRunIdle/skip")
 	speedup("saturated_speedup", "BenchmarkRunSaturated/naive", "BenchmarkRunSaturated/skip")
+	speedup("sweep_fork_speedup", "BenchmarkSweep/cold", "BenchmarkSweep/forked")
 	if q := byName["BenchmarkQueueSchedule"]; q != nil {
 		worst := 0.0
 		for _, r := range q.Runs {
