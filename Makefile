@@ -19,6 +19,15 @@ GO ?= go
 # by double-digit percentages; structural regressions are 5-10x cliffs.
 BENCH_TOLERANCE ?= 50
 
+# Benchmark noise controls. The simulator is single-threaded, so benchmarks
+# gain nothing from extra Ps; pinning GOMAXPROCS removes scheduler-migration
+# jitter and makes the value recorded in each report's meta block meaningful
+# across machines. BENCH_COUNT repeats each benchmark so benchjson can take
+# the best run; raise it locally when a comparison looks noisy.
+BENCH_GOMAXPROCS ?= 2
+BENCH_COUNT ?= 3
+BENCH_ENV = GOMAXPROCS=$(BENCH_GOMAXPROCS)
+
 .PHONY: check vet build test race benchbuild bench bench-check
 
 check: vet build test race benchbuild
@@ -47,23 +56,26 @@ benchbuild:
 # controller's pick/issue benchmarks into BENCH_memctrl.json. Two steps
 # rather than a pipe so a failing bench run fails the target.
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 ./internal/sim ./internal/event > bench.out
-	$(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
-	$(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
-	$(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count 3 ./internal/exper > bench_sweep.out
-	$(GO) run ./tools/benchjson -i bench_sweep.out -o BENCH_sweep.json
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/sim ./internal/event > bench.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -o BENCH_sweep.json
 	@rm -f bench.out bench_memctrl.out bench_sweep.out
 	@cat BENCH_kernel.json BENCH_memctrl.json BENCH_sweep.json
 
-# bench-check is the performance regression gate: re-run both benchmark
+# bench-check is the performance regression gate: re-run all three benchmark
 # suites and compare each result against the committed reports, failing on
 # any slowdown beyond BENCH_TOLERANCE percent (improvements always pass).
+# Derived figures are gated too: speedups (idle_speedup, saturated_speedup,
+# sweep_fork_speedup) fail when they shrink beyond the tolerance, counters
+# (event_queue_allocs_per_op) when they grow.
 bench-check:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 ./internal/sim ./internal/event > bench.out
-	$(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
-	$(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
-	$(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count 3 ./internal/exper > bench_sweep.out
-	$(GO) run ./tools/benchjson -i bench_sweep.out -against BENCH_sweep.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/sim ./internal/event > bench.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -against BENCH_sweep.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
 	@rm -f bench.out bench_memctrl.out bench_sweep.out

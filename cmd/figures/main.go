@@ -33,6 +33,7 @@ func main() {
 	statsJSON := flag.String("stats-json", "", "write run statistics (job counters, stage timings, queue depths) to this JSON file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	tracePath := flag.String("trace", "", "write an execution trace (go tool trace) to this file")
 	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
 	checkpointDir := flag.String("checkpoint-dir", "",
 		"persist finished sweep cells to this directory and resume interrupted grid experiments from them")
@@ -43,7 +44,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	prof, err := pprofutil.Start(*cpuProfile, *memProfile)
+	prof, err := pprofutil.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -102,11 +102,17 @@ type Stats struct {
 
 // Cache is one private cache level. Not safe for concurrent use.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
-	setMask  uint64
-	lower    mem.Port
-	events   cacheEvents
+	cfg     Config
+	sets    [][]line
+	setMask uint64
+	lower   mem.Port
+	// lowerRejects is lower's mem.RejectAccounter view when it has one
+	// (real lower levels do; test stubs may not). Non-nil is what lets a
+	// non-empty deferred list count as a stable span: each skipped cycle's
+	// Tick would retry deferred[0] against a frozen lower level exactly
+	// once and fail, and SkipSpan integrates those refusals through it.
+	lowerRejects mem.RejectAccounter
+	events       cacheEvents
 	mshrs    map[uint64]*mshr // keyed by line address
 	mshrFree []*mshr          // recycled MSHRs (see mshr)
 	wbs      wbPool
@@ -133,13 +139,17 @@ func New(cfg Config, lower mem.Port) (*Cache, error) {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:     cfg,
 		sets:    sets,
 		setMask: uint64(numSets - 1),
 		lower:   lower,
 		mshrs:   make(map[uint64]*mshr),
-	}, nil
+	}
+	if ra, ok := lower.(mem.RejectAccounter); ok {
+		c.lowerRejects = ra
+	}
+	return c, nil
 }
 
 // Config returns the cache configuration.
@@ -343,13 +353,17 @@ func (c *Cache) Tick(now int64) {
 	c.deferred = kept
 }
 
-// NextEventCycle reports whether the cache is quiescent after its Tick at
-// cycle now and the next cycle it has scheduled work. With no deferred
+// NextEventCycle reports whether the cache's near future is a skippable
+// span and the next cycle it has scheduled work. With no deferred
 // lower-level sends, Tick is a pure event-queue drain, so the cache needs
-// to run again only at its next pending event; a non-empty deferred list
-// retries the lower level every cycle and forbids skipping.
+// to run again only at its next pending event. A non-empty deferred list
+// retries deferred[0] against the lower level once per cycle; that span is
+// still skippable when the lower level supports closed-form reject
+// accounting — its state is frozen over a skipped span (its own events
+// bound the span), so the refusal Tick just observed repeats identically —
+// and forbids skipping otherwise.
 func (c *Cache) NextEventCycle(now int64) (int64, bool) {
-	if len(c.deferred) > 0 {
+	if len(c.deferred) > 0 && c.lowerRejects == nil {
 		return 0, false
 	}
 	if next, ok := c.events.next(); ok {
@@ -370,9 +384,22 @@ func (c *Cache) runEvents(now int64) {
 	}
 }
 
-// SkipIdle is a no-op: a quiescent cache's Tick has no per-cycle effects to
-// integrate over a skipped span.
-func (c *Cache) SkipIdle(from, to int64) {}
+// SkipSpan integrates the per-cycle effects of the skipped span [from, to):
+// with a non-empty deferred list, each cycle's Tick would have retried
+// deferred[0] against the frozen lower level exactly once and been refused
+// (order preserved: the first failure stops the retry loop), so the span
+// amounts to to-from accounted refusals. An idle span has no effects.
+func (c *Cache) SkipSpan(from, to int64) {
+	if len(c.deferred) > 0 {
+		c.lowerRejects.AccountRejects(c.deferred[0].App, to-from)
+	}
+}
+
+// AccountRejects implements mem.RejectAccounter: a refused Access's only
+// effect is the reject counter, so n refusals integrate to n increments.
+func (c *Cache) AccountRejects(app int, n int64) {
+	c.stats.Rejects += n
+}
 
 // OutstandingMisses returns the number of in-flight miss lines.
 func (c *Cache) OutstandingMisses() int { return len(c.mshrs) }

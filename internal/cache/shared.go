@@ -18,10 +18,13 @@ type SharedCache struct {
 	cfg      Config
 	numApps  int
 	quota    []int // ways per set each app may hold
-	sets     [][]sline
-	setMask  uint64
-	lower    mem.Port
-	events   cacheEvents
+	sets    [][]sline
+	setMask uint64
+	lower   mem.Port
+	// lowerRejects mirrors Cache.lowerRejects: the lower level's
+	// closed-form reject accounting, enabling deferred-retry span skipping.
+	lowerRejects mem.RejectAccounter
+	events       cacheEvents
 	mshrs    map[uint64]*mshr
 	mshrFree []*mshr
 	wbs      wbPool
@@ -83,7 +86,7 @@ func NewShared(cfg Config, numApps int, quota []int, lower mem.Port) (*SharedCac
 	if appCap < 1 {
 		appCap = 1
 	}
-	return &SharedCache{
+	c := &SharedCache{
 		cfg:        cfg,
 		numApps:    numApps,
 		quota:      append([]int(nil), quota...),
@@ -94,7 +97,11 @@ func NewShared(cfg Config, numApps int, quota []int, lower mem.Port) (*SharedCac
 		stats:      make([]Stats, numApps),
 		mshrByApp:  make([]int, numApps),
 		mshrAppCap: appCap,
-	}, nil
+	}
+	if ra, ok := lower.(mem.RejectAccounter); ok {
+		c.lowerRejects = ra
+	}
+	return c, nil
 }
 
 // Config returns the cache configuration.
@@ -330,10 +337,11 @@ func (c *SharedCache) Tick(now int64) {
 }
 
 // NextEventCycle mirrors Cache.NextEventCycle for the shared topology:
-// quiescent when no deferred sends are pending, waking at the next
-// scheduled event.
+// skippable when deferred sends are absent (pure event-queue drain) or the
+// lower level can account the span's guaranteed-failing retries in closed
+// form, waking at the next scheduled event.
 func (c *SharedCache) NextEventCycle(now int64) (int64, bool) {
-	if len(c.deferred) > 0 {
+	if len(c.deferred) > 0 && c.lowerRejects == nil {
 		return 0, false
 	}
 	if next, ok := c.events.next(); ok {
@@ -354,9 +362,19 @@ func (c *SharedCache) runEvents(now int64) {
 	}
 }
 
-// SkipIdle is a no-op: a quiescent shared cache's Tick has no per-cycle
-// effects.
-func (c *SharedCache) SkipIdle(from, to int64) {}
+// SkipSpan mirrors Cache.SkipSpan: a deferred-retry span integrates to
+// to-from accounted refusals of deferred[0]; an idle span has no effects.
+func (c *SharedCache) SkipSpan(from, to int64) {
+	if len(c.deferred) > 0 {
+		c.lowerRejects.AccountRejects(c.deferred[0].App, to-from)
+	}
+}
+
+// AccountRejects implements mem.RejectAccounter: a refused shared-cache
+// Access's only effect is the requesting app's reject counter.
+func (c *SharedCache) AccountRejects(app int, n int64) {
+	c.stats[app].Rejects += n
+}
 
 // OutstandingMisses returns in-flight miss lines.
 func (c *SharedCache) OutstandingMisses() int { return len(c.mshrs) }
@@ -401,5 +419,9 @@ func (p appPort) Access(now int64, req *mem.Request) bool {
 	req.App = p.app
 	return p.c.Access(now, req)
 }
+
+// AccountRejects forwards to the shared cache under the port's app — the
+// same attribution Access forces by overwriting req.App.
+func (p appPort) AccountRejects(_ int, n int64) { p.c.AccountRejects(p.app, n) }
 
 func (p appPort) Touch(addr uint64, write bool) { p.c.TouchAs(p.app, addr, write) }

@@ -102,7 +102,12 @@ type Core struct {
 	cfg    Config
 	app    int
 	l1     mem.Port
-	stream Stream
+	// l1Rejects is l1's mem.RejectAccounter view when it has one (real
+	// caches do; test stubs may not). Non-nil is what lets a pending
+	// instruction stuck behind an L1 reject count as a stable stall:
+	// SkipSpan integrates the span's guaranteed-failing retries through it.
+	l1Rejects mem.RejectAccounter
+	stream    Stream
 
 	rob      []robEntry
 	robHead  int // oldest entry
@@ -168,6 +173,9 @@ func New(cfg Config, app int, l1 mem.Port, stream Stream) (*Core, error) {
 		rob:    make([]robEntry, cfg.ROBSize),
 	}
 	c.storeReq = mem.Request{App: app, Write: true}
+	if ra, ok := l1.(mem.RejectAccounter); ok {
+		c.l1Rejects = ra
+	}
 	if dyn, ok := stream.(DynamicStream); ok {
 		c.dyn = dyn
 	}
@@ -209,27 +217,57 @@ func (c *Core) Tick(now int64) {
 	c.dispatch(now)
 }
 
+// stallKind classifies the core's stable stall states (see stallState).
+type stallKind int
+
+const (
+	stallNone   stallKind = iota // dispatch or retirement would progress
+	stallROB                     // dispatch blocked on a full ROB
+	stallMLP                     // dispatch blocked on the load-MLP bound
+	stallReject                  // dispatch retrying an L1-rejected access
+)
+
+// stallState classifies the core's state after a Tick: which stable stall,
+// if any, every future Tick repeats until an external fill callback (or the
+// L1 freeing an MSHR) changes the picture. The priority order mirrors
+// dispatch exactly: a full ROB masks everything; the MLP bound masks an L1
+// retry. A rejected pending instruction is a stable stall only when the L1
+// supports closed-form reject accounting (l1Rejects) — its retry calls
+// Access once per attempt cycle, and that refusal's only effect must be
+// integrable.
+func (c *Core) stallState() stallKind {
+	if c.robCount > 0 && c.rob[c.robHead].done {
+		return stallNone // retirement would progress
+	}
+	switch {
+	case c.robCount >= c.cfg.ROBSize:
+		return stallROB
+	case c.pending != nil && c.pending.Mem && !c.pending.Write &&
+		c.pending.Cold && c.outstandingLoads >= c.cfg.MaxOutstandingLoads:
+		return stallMLP
+	case c.pending != nil && c.l1Rejects != nil:
+		return stallReject
+	}
+	return stallNone
+}
+
 // NextEventCycle reports whether the core, as left by its Tick at cycle
-// now, is quiescent: every future Tick is a pure stall (counter increments
-// only) until some external fill callback changes its state. It returns the
-// next cycle at which the core itself must tick regardless (a phase-
+// now, is in a stable stall: every future Tick repeats the same integrable
+// per-cycle effects (counter increments, at most one guaranteed-failing L1
+// retry) until some external fill callback changes its state. It returns
+// the next cycle at which the core itself must tick regardless (a phase-
 // parameter refresh for dynamic streams; effectively never otherwise) —
 // fill callbacks arrive through other components' event queues, which
 // bound the skip on their own.
 //
-// The core is quiescent exactly when retirement is blocked on an undone ROB
-// head AND dispatch is stably blocked: either the ROB is full, or the next
-// instruction is a cold load held by the MLP bound. A pending instruction
-// that was merely rejected by the L1 is NOT quiescent — its retry calls
-// into the cache every cycle.
+// Three stall states qualify, in dispatch's own priority order: the ROB is
+// full, the next instruction is a cold load held by the MLP bound, or the
+// pending instruction is stuck behind an L1 reject (MSHRs full) whose
+// retry the L1 can account in closed form. The L1's MSHR state is frozen
+// over a skipped span (its fills are events that bound the span), so a
+// refusal observed this cycle repeats identically until the span ends.
 func (c *Core) NextEventCycle(now int64) (int64, bool) {
-	if c.robCount == 0 || c.rob[c.robHead].done {
-		return 0, false // retirement would progress
-	}
-	robFull := c.robCount >= c.cfg.ROBSize
-	mlpStall := !robFull && c.pending != nil && c.pending.Mem && !c.pending.Write &&
-		c.pending.Cold && c.outstandingLoads >= c.cfg.MaxOutstandingLoads
-	if !robFull && !mlpStall {
+	if c.stallState() == stallNone {
 		return 0, false
 	}
 	if c.dyn != nil {
@@ -240,42 +278,67 @@ func (c *Core) NextEventCycle(now int64) (int64, bool) {
 	return math.MaxInt64, true
 }
 
-// SkipIdle accounts the cycles [from, to) as if Tick had run on each of
-// them while the core was quiescent (see NextEventCycle). It must leave the
-// core bit-identical to naive ticking: Cycles advances, the dispatch credit
-// accumulates with the exact repeated add-then-clamp float semantics, and
-// the matching stall counter increments on every cycle the credit allows a
-// dispatch attempt.
-func (c *Core) SkipIdle(from, to int64) {
+// SkipSpan accounts the cycles [from, to) as if Tick had run on each of
+// them while the core was stably stalled (see NextEventCycle). It must
+// leave the core bit-identical to naive ticking: Cycles advances, the
+// dispatch credit accumulates with the exact repeated add-then-clamp float
+// semantics, the matching stall counter increments on every cycle the
+// credit allows a dispatch attempt, and — for reject stalls — the L1's
+// reject counter, the load id sequence, and the transiently reserved ROB
+// slot advance exactly as the per-cycle retries would have driven them.
+func (c *Core) SkipSpan(from, to int64) {
 	n := to - from
 	c.stats.Cycles += n
 	w := float64(c.cfg.Width)
-	robFull := c.robCount >= c.cfg.ROBSize
-	// Replay the credit accumulation until it saturates at the clamp value.
-	// Clamping assigns exactly w, a fixpoint of add-then-clamp, so once
-	// credit == w every remaining cycle is identical; a closed form
+	kind := c.stallState()
+	// Replay the credit accumulation until it saturates at the clamp value,
+	// counting the cycles whose credit allows a dispatch attempt. Clamping
+	// assigns exactly w, a fixpoint of add-then-clamp, so once credit == w
+	// every remaining cycle is identical; a closed form
 	// (credit0 + span*BaseIPC) would not reproduce the naive loop's float
 	// rounding bit for bit.
-	var i int64
+	var attempts, i int64
 	for ; i < n && c.credit != w; i++ {
 		c.credit += c.cfg.BaseIPC
 		if c.credit > w {
 			c.credit = w
 		}
 		if c.credit >= 1 {
-			if robFull {
-				c.stats.ROBFullCycles++
-			} else {
-				c.stats.MLPStallCycles++
-			}
+			attempts++
 		}
 	}
-	if rem := n - i; rem > 0 {
-		// credit pinned at w (>= 1): each remaining cycle stalls identically.
-		if robFull {
-			c.stats.ROBFullCycles += rem
+	// credit pinned at w (Width >= 1): every remaining cycle attempts.
+	attempts += n - i
+	if attempts == 0 {
+		return
+	}
+	switch kind {
+	case stallROB:
+		c.stats.ROBFullCycles += attempts
+	case stallMLP:
+		c.stats.MLPStallCycles += attempts
+	case stallReject:
+		// Each attempt cycle runs exactly one failing dispatch: one L1
+		// Access refusal (integrated by the L1) and one RejectStallCycles
+		// increment (the stalled flag caps it at one per cycle).
+		c.stats.RejectStallCycles += attempts
+		c.l1Rejects.AccountRejects(c.app, attempts)
+		if !c.pending.Write {
+			// A failing load attempt additionally consumes a load id and
+			// cycles a slot through reserveROB/unreserveROB — replay the
+			// final attempt's bookkeeping so pooled-slot fields, the load
+			// sequence, and the scratch ROB slot all match naive ticking.
+			c.loadSeq += uint64(attempts)
+			ls := c.newLoad()
+			ls.slot = c.reserveROB()
+			ls.cold = c.pending.Cold
+			ls.req.Addr = c.pending.Addr
+			ls.id = c.loadSeq - 1
+			ls.req.Origin.Key = ls.id
+			c.unreserveROB()
+			c.loadFree = append(c.loadFree, ls)
 		} else {
-			c.stats.MLPStallCycles += rem
+			c.storeReq.Addr = c.pending.Addr
 		}
 	}
 }

@@ -79,6 +79,9 @@ func (r *Runner) runRaw(simCfg sim.Config, profs []workload.Profile, sched memct
 	if err := sys.Controller().SetScheduler(sched); err != nil {
 		return sim.Result{}, err
 	}
+	if r.cfg.Tracer != nil {
+		sys.Controller().SetTracer(r.cfg.Tracer)
+	}
 	sys.Run(r.cfg.SettleCycles)
 	sys.ResetStats()
 	sys.Run(r.cfg.MeasureCycles)

@@ -73,3 +73,15 @@ type Resolver func(RequestState) (*Request, error)
 type Port interface {
 	Access(now int64, req *Request) bool
 }
+
+// RejectAccounter is the span-integration contract for rejected accesses: a
+// Port additionally implementing it promises that a refused Access has no
+// side effect beyond what AccountRejects(app, n) reproduces for n refusals
+// (typically a per-app reject counter; possibly nothing at all). Callers
+// that retry a rejected request once per cycle may then integrate a span of
+// n guaranteed-failing retries in closed form instead of issuing them,
+// keeping the skipped span bit-identical to per-cycle retrying. Ports whose
+// refusals have richer effects must not implement it.
+type RejectAccounter interface {
+	AccountRejects(app int, n int64)
+}

@@ -54,12 +54,19 @@ type Controller struct {
 	cfg      dram.Config
 	channels int
 	sched    Scheduler
-	// schedIndexed caches the indexedPicker assertion on sched; headOnly and
-	// idleSafe cache the corresponding interface calls. All three are
-	// refreshed by SetScheduler.
+	// schedIndexed caches the indexedPicker assertion on sched; headOnly,
+	// idleSafe and spanSafe cache the corresponding interface calls. All
+	// are refreshed by SetScheduler.
 	schedIndexed indexedPicker
 	headOnly     bool
 	idleSafe     bool
+	// spanSafe marks a head-only scheduler that opted into busy-span
+	// skipping (see BusySpanSafeScheduler): Pick-visible state mutates only
+	// inside Pick/OnIssue, and for head-only policies the set of cycles at
+	// which Tick calls Pick is fully determined by nextTry and the
+	// completion queue — so skipping the non-Pick cycles in between is
+	// bit-identical to ticking them.
+	spanSafe bool
 	// pickReference forces the scheduler's reference scan Pick even when an
 	// indexed fast path exists (differential-test seam).
 	pickReference bool
@@ -100,6 +107,10 @@ type Controller struct {
 	// tracer, when set, observes every issued access (cycle, app, addr,
 	// write). Used for off-chip trace recording.
 	tracer func(cycle int64, app int, addr uint64, write bool)
+	// completionTracer, when set, observes every retired access with its
+	// completion cycle. Differential tests use it to pin the completion
+	// stream alongside the issue stream.
+	completionTracer func(cycle int64, app int, addr uint64, write bool)
 }
 
 // New builds a controller over dev for numApps applications with the given
@@ -156,6 +167,15 @@ func (c *Controller) SetTracer(fn func(cycle int64, app int, addr uint64, write 
 	c.tracer = fn
 }
 
+// SetCompletionTracer installs (or clears, with nil) an observer invoked at
+// every completion with the access's completion cycle, application, address
+// and direction. Completions retire in (cycle, seq) order under both
+// kernels, so the observed stream is a bit-identity witness complementary
+// to SetTracer's issue stream.
+func (c *Controller) SetCompletionTracer(fn func(cycle int64, app int, addr uint64, write bool)) {
+	c.completionTracer = fn
+}
+
 // SetMaxInFlight overrides how many accesses may be issued to the device
 // before earlier ones complete. Values below 1 are rejected.
 func (c *Controller) SetMaxInFlight(n int) error {
@@ -189,6 +209,7 @@ func (c *Controller) applyScheduler(s Scheduler) {
 	c.schedIndexed, _ = s.(indexedPicker)
 	c.headOnly = s.HeadOnly()
 	c.idleSafe = schedIdleSkipSafe(s)
+	c.spanSafe = c.headOnly && schedBusySpanSafe(s)
 	c.rebuildIndex()
 }
 
@@ -312,6 +333,9 @@ func (c *Controller) runCompletions(now int64) {
 			st.Reads++
 		}
 		st.QueueWaitCycles += ev.wait
+		if c.completionTracer != nil {
+			c.completionTracer(ev.cycle, ev.req.App, ev.req.Addr, ev.req.Write)
+		}
 		if ev.req.Done != nil {
 			ev.req.Done(ev.cycle)
 		}
@@ -452,12 +476,24 @@ func (c *Controller) accountInterference(now int64, issued *Entry) {
 }
 
 // NextEventCycle reports whether the controller, after its Tick at cycle
-// now, is quiescent — no issue, completion, or stat side effect other than
-// the per-cycle interference accounting (integrated by SkipIdle) can occur
-// before the returned cycle. With queued requests the claim additionally
-// requires the scheduler to declare itself free of time-anchored Pick state
-// (see IdleSkipSafeScheduler); otherwise the controller must be ticked
-// every cycle.
+// now, faces a skippable span — no issue, completion, or stat side effect
+// other than the per-cycle interference accounting (integrated by SkipSpan)
+// can occur before the returned cycle. With queued requests the claim
+// additionally requires the scheduler to have opted into one of the span
+// contracts; otherwise the controller must be ticked every cycle.
+//
+// For an idle-skip-safe scheduler (Pick is a pure function of queue/bank
+// state) the bound is the earliest cycle any candidate could issue:
+// Pick-call cycles in between may be skipped because their Picks return nil
+// without side effects. For a busy-span-safe scheduler (stateful Pick,
+// head-only) no Pick-call cycle may be skipped, so the bound is nextTry —
+// the exact gate Tick applies before calling the scheduler. Within
+// [now+1, nextTry) the naive loop provably calls nothing but runCompletions
+// (empty before the completion head, which also bounds the span) and the
+// interference accounting: nextTry only moves on enqueue, completion, or
+// issue attempt, none of which occur mid-span. A stale nextTry <= now
+// (e.g. right after an issue) clamps to now+1, surrendering the skip rather
+// than guessing.
 func (c *Controller) NextEventCycle(now int64) (int64, bool) {
 	next := int64(math.MaxInt64)
 	if len(c.completions) > 0 {
@@ -466,12 +502,22 @@ func (c *Controller) NextEventCycle(now int64) (int64, bool) {
 	if c.queued == 0 {
 		return next, true
 	}
-	if !c.idleSafe {
+	if !c.idleSafe && !c.spanSafe {
 		return 0, false
 	}
 	if c.inFlight < c.maxInFlight {
-		if t := c.earliestIssueCycle(now); t < next {
-			next = t
+		if c.idleSafe {
+			if t := c.earliestIssueCycle(now); t < next {
+				next = t
+			}
+		} else {
+			t := c.nextTry
+			if t <= now {
+				t = now + 1
+			}
+			if t < next {
+				next = t
+			}
 		}
 	}
 	return next, true
@@ -512,16 +558,23 @@ func (c *Controller) earliestIssueCycle(now int64) int64 {
 	return earliest
 }
 
-// SkipIdle integrates the per-cycle interference accounting over the
+// SkipSpan integrates the per-cycle interference accounting over the
 // skipped span [from, to): with queues, banks and buses frozen (no issues,
-// completions or arrivals happen in a quiescent span) each app's head
+// completions or arrivals happen in a skipped span) each app's head
 // request accrues exactly the blocked-by-other cycles the per-cycle
 // detector would have counted, in closed form via dram.ContentionCycles.
 // The scheduler-preferred-another-app term contributes nothing because no
 // request issues within the span.
-func (c *Controller) SkipIdle(from, to int64) {
+func (c *Controller) SkipSpan(from, to int64) {
 	if c.queued == 0 {
 		return
+	}
+	if c.headOnly && c.inFlight >= c.maxInFlight && c.nextTry <= from && len(c.completions) > 0 {
+		// The naive loop's first span Tick would pass the stale nextTry
+		// gate, hit the in-flight cap in issueOne, and re-arm nextTry to
+		// the completion head (its only effect); replay that so the cached
+		// gate stays bit-identical.
+		c.nextTry = c.completions[0].cycle
 	}
 	for a := 0; a < c.numApps; a++ {
 		e := c.queues[a].peek()
@@ -531,6 +584,11 @@ func (c *Controller) SkipIdle(from, to int64) {
 		c.stats[a].InterferenceCycles += c.dev.ContentionCycles(e.Coord, a, from, to)
 	}
 }
+
+// AccountRejects implements mem.RejectAccounter: a refused Access (queue at
+// capacity) has no controller-side effect — no counter, no state change —
+// so a span of n refusals integrates to nothing.
+func (c *Controller) AccountRejects(app int, n int64) {}
 
 // Stats returns a copy of the per-app counters.
 func (c *Controller) Stats() []AppStats {

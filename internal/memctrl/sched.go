@@ -43,6 +43,31 @@ func schedIdleSkipSafe(s Scheduler) bool {
 	return ok && m.IdleSkipSafe()
 }
 
+// BusySpanSafeScheduler is the opt-in marker for busy-span skipping, the
+// weaker sibling of IdleSkipSafeScheduler for policies whose Pick IS
+// stateful. A head-only scheduler declaring BusySpanSafe() == true promises
+// that every piece of state its decisions read or write mutates only inside
+// Pick (or OnIssue) — never between calls as a function of wall-clock time.
+// Quantum and epoch clocks (ATLAS quanta, TCM recluster/shuffle timers,
+// STFM's slowdown refresh, PARBS batch formation) qualify because they
+// advance lazily from the now passed to Pick. Under that promise the
+// controller may skip exactly the cycles at which Tick would not have
+// called Pick anyway — for head-only policies those are fully determined by
+// the cached nextTry gate and the completion queue — so the scheduler sees
+// the identical sequence of (now, queue, bank) observations as under naive
+// ticking, and its state evolves bit-identically. Policies that are already
+// IdleSkipSafe do not need this: the controller prefers the stronger
+// contract's more aggressive bound.
+type BusySpanSafeScheduler interface {
+	BusySpanSafe() bool
+}
+
+// schedBusySpanSafe reports whether s opted into busy-span skipping.
+func schedBusySpanSafe(s Scheduler) bool {
+	m, ok := s.(BusySpanSafeScheduler)
+	return ok && m.BusySpanSafe()
+}
+
 // issuableHead returns app a's oldest entry if its bank is ready, else nil.
 func issuableHead(c *Controller, dev *dram.Device, a int, now int64) *Entry {
 	e := c.queues[a].peek()

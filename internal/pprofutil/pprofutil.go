@@ -1,8 +1,9 @@
 // Package pprofutil wires Go's runtime profilers into command-line tools:
-// one Start call opens the requested CPU and heap profile outputs, and one
-// idempotent Stop flushes them. Commands route their fatal-error paths
-// through Stop so profiles survive early exits (log.Fatal skips deferred
-// calls, which would otherwise truncate the CPU profile to garbage).
+// one Start call opens the requested CPU profile, heap profile, and
+// execution trace outputs, and one idempotent Stop flushes them. Commands
+// route their fatal-error paths through Stop so profiles survive early exits
+// (log.Fatal skips deferred calls, which would otherwise truncate the CPU
+// profile and execution trace to garbage).
 package pprofutil
 
 import (
@@ -10,22 +11,25 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"sync"
 )
 
 // Profiler owns the profile outputs of one process run. The zero value and
 // the nil pointer are valid no-ops, so callers can hold one unconditionally.
 type Profiler struct {
-	cpuFile *os.File
-	memPath string
-	once    sync.Once
-	stopErr error
+	cpuFile   *os.File
+	traceFile *os.File
+	memPath   string
+	once      sync.Once
+	stopErr   error
 }
 
-// Start begins CPU profiling to cpuPath and schedules a heap profile to
-// memPath at Stop time. Either path may be empty to skip that profile; with
-// both empty the returned Profiler is a pure no-op.
-func Start(cpuPath, memPath string) (*Profiler, error) {
+// Start begins CPU profiling to cpuPath, an execution trace (runtime/trace,
+// for `go tool trace`) to tracePath, and schedules a heap profile to memPath
+// at Stop time. Any path may be empty to skip that output; with all empty
+// the returned Profiler is a pure no-op.
+func Start(cpuPath, memPath, tracePath string) (*Profiler, error) {
 	p := &Profiler{memPath: memPath}
 	if cpuPath != "" {
 		f, err := os.Create(cpuPath)
@@ -38,7 +42,30 @@ func Start(cpuPath, memPath string) (*Profiler, error) {
 		}
 		p.cpuFile = f
 	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			p.abortCPU()
+			return nil, fmt.Errorf("pprofutil: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			p.abortCPU()
+			return nil, fmt.Errorf("pprofutil: start trace: %w", err)
+		}
+		p.traceFile = f
+	}
 	return p, nil
+}
+
+// abortCPU unwinds an already-started CPU profile when a later output fails
+// to open, so Start never returns an error with profiling left running.
+func (p *Profiler) abortCPU() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		p.cpuFile.Close()
+		p.cpuFile = nil
+	}
 }
 
 // Stop flushes and closes every profile opened by Start. It is safe to call
@@ -58,6 +85,12 @@ func (p *Profiler) stop() error {
 		pprof.StopCPUProfile()
 		if err := p.cpuFile.Close(); err != nil {
 			first = fmt.Errorf("pprofutil: close cpu profile: %w", err)
+		}
+	}
+	if p.traceFile != nil {
+		trace.Stop()
+		if err := p.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("pprofutil: close trace: %w", err)
 		}
 	}
 	if p.memPath != "" {

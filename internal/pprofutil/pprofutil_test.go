@@ -10,7 +10,8 @@ func TestStartStopWritesProfiles(t *testing.T) {
 	dir := t.TempDir()
 	cpu := filepath.Join(dir, "cpu.pprof")
 	mem := filepath.Join(dir, "mem.pprof")
-	p, err := Start(cpu, mem)
+	tr := filepath.Join(dir, "trace.out")
+	p, err := Start(cpu, mem, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +24,7 @@ func TestStartStopWritesProfiles(t *testing.T) {
 	if err := p.Stop(); err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range []string{cpu, mem} {
+	for _, path := range []string{cpu, mem, tr} {
 		fi, err := os.Stat(path)
 		if err != nil {
 			t.Fatal(err)
@@ -39,7 +40,7 @@ func TestStartStopWritesProfiles(t *testing.T) {
 }
 
 func TestNoOpProfiler(t *testing.T) {
-	p, err := Start("", "")
+	p, err := Start("", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,24 @@ func TestNoOpProfiler(t *testing.T) {
 }
 
 func TestStartBadPath(t *testing.T) {
-	if _, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.pprof"), ""); err == nil {
+	if _, err := Start(filepath.Join(t.TempDir(), "missing", "cpu.pprof"), "", ""); err == nil {
 		t.Fatal("expected error for uncreatable cpu profile path")
+	}
+}
+
+func TestStartBadTracePathUnwindsCPU(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	if _, err := Start(cpu, "", filepath.Join(dir, "missing", "trace.out")); err == nil {
+		t.Fatal("expected error for uncreatable trace path")
+	}
+	// The failed Start must have unwound CPU profiling, so a fresh Start can
+	// claim it again (StartCPUProfile errors if profiling is already active).
+	p, err := Start(cpu, "", "")
+	if err != nil {
+		t.Fatalf("cpu profiling left running by failed Start: %v", err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
 	}
 }

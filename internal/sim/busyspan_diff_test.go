@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bwpart/internal/dram"
+	"bwpart/internal/memctrl"
+)
+
+// This file is the randomized differential suite for the busy-span kernel:
+// for every scheduler the controller ships, under both L2 topologies and
+// both DRAM page policies, a randomized system configuration must produce a
+// bit-identical Result, issue trace, and completion trace under the naive
+// and cycle-skipping kernels. It is the system-level analogue of the
+// controller's index_diff_test.go.
+
+// busyFuzzPool lists the workloads the fuzzer draws from: memory-bound
+// profiles (lbm, milc, libquantum) keep the controller saturated so busy
+// spans dominate, lighter ones (povray, h264ref) mix in idle spans and
+// queue-empty transitions.
+var busyFuzzPool = []string{
+	"lbm", "milc", "libquantum", "soplex", "omnetpp", "gromacs", "povray", "h264ref",
+}
+
+// busySchedulers enumerates every scheduler under test with a fresh-instance
+// factory (the two kernels must never share mutable policy state). The list
+// spans all three span contracts: idle-skip-safe (FCFS, FR-FCFS,
+// StartTimeFair, Priority, BudgetThrottle, WriteDrain over a safe inner),
+// busy-span-safe (STFM, ATLAS, TCM, PARBS), and no contract at all
+// (WriteDrain over STFM, exercised by TestKernelUnsafeSchedulerFallsBack).
+func busySchedulers(numApps int) []struct {
+	name string
+	mk   func(t *testing.T) memctrl.Scheduler
+} {
+	shares := make([]float64, numApps)
+	order := make([]int, numApps)
+	for i := range shares {
+		shares[i] = float64(i+1) * 2 / float64(numApps*(numApps+1))
+		order[i] = numApps - 1 - i
+	}
+	mustSched := func(t *testing.T, s memctrl.Scheduler, err error) memctrl.Scheduler {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	return []struct {
+		name string
+		mk   func(t *testing.T) memctrl.Scheduler
+	}{
+		{"fcfs", func(t *testing.T) memctrl.Scheduler { return memctrl.NewFCFS() }},
+		{"frfcfs", func(t *testing.T) memctrl.Scheduler { return memctrl.NewFRFCFS(8) }},
+		{"stf", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewStartTimeFair(shares)
+			return mustSched(t, s, err)
+		}},
+		{"priority", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewPriority(order)
+			return mustSched(t, s, err)
+		}},
+		{"budget", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewBudgetThrottle(shares, 2000)
+			return mustSched(t, s, err)
+		}},
+		{"writedrain", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewWriteDrain(memctrl.NewFRFCFS(8), 12, 4)
+			return mustSched(t, s, err)
+		}},
+		{"stfm", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewSTFM(numApps, 1.1)
+			return mustSched(t, s, err)
+		}},
+		{"atlas", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewATLAS(numApps, 5000, 0.875)
+			return mustSched(t, s, err)
+		}},
+		{"tcm", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewTCM(numApps, 5000, 800, 0.3, 42)
+			return mustSched(t, s, err)
+		}},
+		{"parbs", func(t *testing.T) memctrl.Scheduler {
+			s, err := memctrl.NewPARBS(numApps, 5)
+			return mustSched(t, s, err)
+		}},
+	}
+}
+
+// busyFuzzCase is one randomized system configuration shared by both kernel
+// runs of a differential pair.
+type busyFuzzCase struct {
+	names         []string
+	queueCap      int
+	seed          int64
+	referencePick bool
+}
+
+// randBusyCase draws a case from r: 2-4 apps (duplicates allowed — identical
+// profiles with per-app generator streams stress tie-breaking), sometimes a
+// tight controller queue cap (forcing the caches' deferred-retry spans
+// against a full controller), and sometimes the reference pick path.
+func randBusyCase(r *rand.Rand) busyFuzzCase {
+	n := 2 + r.Intn(3)
+	names := make([]string, n)
+	for i := range names {
+		names[i] = busyFuzzPool[r.Intn(len(busyFuzzPool))]
+	}
+	cap := 0
+	if r.Intn(2) == 0 {
+		cap = 4 + r.Intn(20)
+	}
+	return busyFuzzCase{
+		names:         names,
+		queueCap:      cap,
+		seed:          r.Int63(),
+		referencePick: r.Intn(4) == 0,
+	}
+}
+
+// runBusyDiff assembles one system for the case, installs a fresh scheduler,
+// and returns the windowed Result plus the full issue and completion traces.
+func runBusyDiff(t *testing.T, kernel Kernel, shared bool, policy dram.PagePolicy,
+	fc busyFuzzCase, mk func(t *testing.T) memctrl.Scheduler) (Result, []traceRec, []traceRec) {
+	t.Helper()
+	cfg := fastCfg()
+	cfg.Kernel = kernel
+	cfg.SharedL2 = shared
+	cfg.DRAM.Policy = policy
+	cfg.QueueCap = fc.queueCap
+	cfg.Seed = fc.seed
+	cfg.ReferencePick = fc.referencePick
+	sys, err := New(cfg, mustProfiles(t, fc.names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Controller().SetScheduler(mk(t)); err != nil {
+		t.Fatal(err)
+	}
+	sys.Warmup()
+	var issues, completions []traceRec
+	sys.Controller().SetTracer(func(cycle int64, app int, addr uint64, write bool) {
+		issues = append(issues, traceRec{cycle, app, addr, write})
+	})
+	sys.Controller().SetCompletionTracer(func(cycle int64, app int, addr uint64, write bool) {
+		completions = append(completions, traceRec{cycle, app, addr, write})
+	})
+	sys.Run(15_000)
+	sys.ResetStats()
+	sys.Run(50_000)
+	return sys.Results(), issues, completions
+}
+
+// TestBusySpanKernelFuzz is the randomized differential fuzz across all ten
+// schedulers x both topologies x both page policies: each combination gets
+// deterministic pseudo-random system configurations, and the cycle-skipping
+// kernel must reproduce the naive loop's Result, issue trace, and
+// completion trace bit for bit.
+func TestBusySpanKernelFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential fuzz is slow")
+	}
+	numSchedulers := len(busySchedulers(2))
+	for _, shared := range []bool{false, true} {
+		for _, policy := range []dram.PagePolicy{dram.ClosePage, dram.OpenPage} {
+			// One deterministic case stream per (topology, policy) grid cell:
+			// each scheduler gets a fresh random case, and the scheduler list
+			// is rebuilt per case because share vectors and per-app policy
+			// state depend on the drawn app count. A failure names a
+			// reproducible (scheduler, case) pair via the seeded stream.
+			r := rand.New(rand.NewSource(int64(0xb5 + 2*boolInt(shared) + boolInt(policy == dram.OpenPage))))
+			for si := 0; si < numSchedulers; si++ {
+				fc := randBusyCase(r)
+				sched := busySchedulers(len(fc.names))[si]
+				name := fmt.Sprintf("sharedL2=%v/%v/%s", shared, policy, sched.name)
+				t.Run(name, func(t *testing.T) {
+					nres, nis, ncp := runBusyDiff(t, KernelNaive, shared, policy, fc, sched.mk)
+					sres, sis, scp := runBusyDiff(t, KernelCycleSkipping, shared, policy, fc, sched.mk)
+					if !reflect.DeepEqual(nres, sres) {
+						t.Errorf("case %+v: results diverge\nnaive: %+v\nskip:  %+v", fc, nres, sres)
+					}
+					if !reflect.DeepEqual(nis, sis) {
+						t.Errorf("case %+v: issue traces diverge (naive %d records, skip %d)",
+							fc, len(nis), len(sis))
+					}
+					if !reflect.DeepEqual(ncp, scp) {
+						t.Errorf("case %+v: completion traces diverge (naive %d records, skip %d)",
+							fc, len(ncp), len(scp))
+					}
+					if len(sis) == 0 {
+						t.Errorf("case %+v: empty issue trace — workload never reached the controller", fc)
+					}
+				})
+			}
+		}
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -79,10 +79,13 @@ func TestKernelsBitIdenticalSingleApp(t *testing.T) {
 	}
 }
 
-// TestKernelUnsafeSchedulerFallsBack ensures a scheduler without the
-// IdleSkipSafe marker still produces naive-identical results under the
-// skipping kernel (the controller refuses quiescence while requests are
-// queued, degrading to per-cycle ticking only where it must).
+// TestKernelUnsafeSchedulerFallsBack ensures a scheduler with neither the
+// IdleSkipSafe nor the BusySpanSafe marker still produces naive-identical
+// results under the skipping kernel (the controller refuses both idle
+// quiescence and busy spans while requests are queued, degrading to
+// per-cycle ticking only where it must). WriteDrain wrapping STFM is such a
+// scheduler: WriteDrain is not head-only and STFM's batched inner state
+// disqualifies the wrapper from deferring to the inner policy's markers.
 func TestKernelUnsafeSchedulerFallsBack(t *testing.T) {
 	names := []string{"lbm", "soplex"}
 	install := func(sys *System) error {
@@ -90,15 +93,19 @@ func TestKernelUnsafeSchedulerFallsBack(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		return sys.Controller().SetScheduler(stfm)
+		drain, err := memctrl.NewWriteDrain(stfm, 12, 4)
+		if err != nil {
+			return err
+		}
+		return sys.Controller().SetScheduler(drain)
 	}
 	naive, ntrace := runKernel(t, KernelNaive, false, names, install)
 	skip, strace := runKernel(t, KernelCycleSkipping, false, names, install)
 	if !reflect.DeepEqual(naive, skip) {
-		t.Errorf("results diverge under STFM\nnaive: %+v\nskip:  %+v", naive, skip)
+		t.Errorf("results diverge under WriteDrain(STFM)\nnaive: %+v\nskip:  %+v", naive, skip)
 	}
 	if !reflect.DeepEqual(ntrace, strace) {
-		t.Errorf("traces diverge under STFM (naive %d, skip %d)", len(ntrace), len(strace))
+		t.Errorf("traces diverge under WriteDrain(STFM) (naive %d, skip %d)", len(ntrace), len(strace))
 	}
 }
 

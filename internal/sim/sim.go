@@ -21,33 +21,43 @@ type Kernel int
 
 const (
 	// KernelCycleSkipping (the default) ticks every component each cycle
-	// but, whenever all components report quiescence, leaps directly to the
-	// minimum next-event cycle, integrating per-cycle statistics
-	// (interference accounting, stall counters) over the skipped span. It
-	// is bit-identical to KernelNaive — the differential tests in this
-	// package and internal/exper enforce that — and multiple times faster
-	// on memory-bound phases where most cycles are dead.
+	// but, whenever every component reports a skippable span, leaps
+	// directly to the minimum next-event cycle, integrating per-cycle
+	// statistics (interference accounting, stall counters, reject retries)
+	// over the skipped span. It is bit-identical to KernelNaive — the
+	// differential tests in this package and internal/exper enforce that —
+	// and multiple times faster both on idle phases (most cycles dead) and
+	// on saturated phases (most cycles deterministic stalls).
 	KernelCycleSkipping Kernel = iota
 	// KernelNaive ticks every component once per simulated cycle. It is
 	// the reference semantics, kept for differential testing and as the
-	// fallback a study can force when using schedulers with time-anchored
-	// state (those fall back automatically; see
-	// memctrl.IdleSkipSafeScheduler).
+	// fallback a study can force when using schedulers that opted into
+	// neither span contract (those fall back automatically; see
+	// memctrl.IdleSkipSafeScheduler and memctrl.BusySpanSafeScheduler).
 	KernelNaive
 )
 
 // component is the tickable simulation unit System.Run drives: cores,
-// caches, and the memory controller. NextEventCycle(now) reports, after the
-// component ticked at cycle now, whether it is quiescent and the next cycle
-// (> now) at which it can make progress on its own; math.MaxInt64 means
-// "only external events wake me". SkipIdle(from, to) applies the integrable
-// per-cycle effects of the span [from, to) in closed form; the kernel only
-// calls it when every component reported quiescence, so results stay
-// bit-identical to naive ticking.
+// caches, and the memory controller. The discrete-event contract:
+// NextEventCycle(now) reports, after the component ticked at cycle now,
+// whether its near future is a skippable span — every Tick strictly before
+// the returned cycle would have only integrable per-cycle effects (stat
+// accrual, stall counters, guaranteed-failing retries), no state change
+// that other components could observe — and the next cycle (> now) at which
+// it must tick again; math.MaxInt64 means "only external events wake me".
+// A span is skippable both when the component is idle and when it is busy
+// but deterministic until a known cycle (a core stalled on its ROB-head
+// memory op, a cache waiting only on outstanding fills, the controller
+// waiting for bank-ready/bus-free). SkipSpan(from, to) applies the span's
+// per-cycle effects in closed form; the kernel only calls it when every
+// component reported a skippable span covering [from, to), so results stay
+// bit-identical to naive ticking: any state change originates from some
+// component's reported event cycle, and the kernel never leaps past the
+// minimum of those.
 type component interface {
 	Tick(now int64)
-	NextEventCycle(now int64) (next int64, quiescent bool)
-	SkipIdle(from, to int64)
+	NextEventCycle(now int64) (next int64, skippable bool)
+	SkipSpan(from, to int64)
 }
 
 // Config describes a full system.
@@ -186,9 +196,9 @@ func (s *System) Warmup() {
 // Run advances the system by the given number of cycles under the
 // configured kernel. Both kernels drive the same component list in the same
 // per-cycle order; the cycle-skipping kernel additionally leaps over spans
-// in which every component is quiescent, applying the spans' per-cycle
-// statistics in closed form, so its results are bit-identical to the naive
-// loop's.
+// in which every component is idle or deterministically busy (see
+// component), applying the spans' per-cycle statistics in closed form, so
+// its results are bit-identical to the naive loop's.
 func (s *System) Run(cycles int64) {
 	end := s.now + cycles
 	if s.cfg.Kernel == KernelNaive {
@@ -199,14 +209,15 @@ func (s *System) Run(cycles int64) {
 		}
 		return
 	}
-	// Probe backoff: in busy phases (bandwidth-saturated mixes) the
-	// quiescence sweep fails nearly every cycle, and its cost — notably the
-	// controller's queue scan — would be pure overhead on top of the naive
-	// loop. After a failed probe the sweep is suspended for a geometrically
-	// growing number of cycles (capped), which bounds the overhead at a few
-	// percent of one sweep per cycle while delaying skip onset by at most
-	// probeGap ticks. Delayed probes only trade skipped cycles for ticked
-	// ones, so simulated state is unaffected.
+	// Probe backoff: in phases where some component is genuinely
+	// unpredictable (a core actively dispatching, a non-span-safe
+	// scheduler) the span sweep fails nearly every cycle, and its cost
+	// would be pure overhead on top of the naive loop. After a failed probe
+	// the sweep is suspended for a geometrically growing number of cycles
+	// (capped), which bounds the overhead at a few percent of one sweep per
+	// cycle while delaying skip onset by at most probeGap ticks. Delayed
+	// probes only trade skipped cycles for ticked ones, so simulated state
+	// is unaffected.
 	const maxProbeGap = 32
 	probeGap := int64(1)
 	var nextProbe int64
@@ -221,22 +232,22 @@ func (s *System) Run(cycles int64) {
 		if s.now < nextProbe {
 			continue
 		}
-		// Quiescence sweep over the cycle just ticked, in reverse component
-		// order: cores first (cheapest check, most often busy) with early
-		// exit, the controller's queue scan last.
+		// Span sweep over the cycle just ticked, in reverse component
+		// order: cores first (cheapest check, most often unpredictable)
+		// with early exit, the controller last.
 		target := end
-		quiescent := true
+		skippable := true
 		for i := len(s.comps) - 1; i >= 0; i-- {
-			next, q := s.comps[i].NextEventCycle(s.now - 1)
-			if !q {
-				quiescent = false
+			next, ok := s.comps[i].NextEventCycle(s.now - 1)
+			if !ok {
+				skippable = false
 				break
 			}
 			if next < target {
 				target = next
 			}
 		}
-		if !quiescent || target <= s.now {
+		if !skippable || target <= s.now {
 			nextProbe = s.now + probeGap
 			if probeGap < maxProbeGap {
 				probeGap *= 2
@@ -245,7 +256,7 @@ func (s *System) Run(cycles int64) {
 		}
 		probeGap = 1
 		for _, c := range s.comps {
-			c.SkipIdle(s.now, target)
+			c.SkipSpan(s.now, target)
 		}
 		s.now = target
 	}

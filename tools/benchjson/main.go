@@ -12,7 +12,9 @@
 // With -against OLD.json the new results are additionally compared to a
 // previously committed report: any benchmark present in both whose best
 // ns/op regressed by more than -tolerance percent fails the run (non-zero
-// exit), which is the `make bench-check` performance gate:
+// exit), as does any derived figure that worsened beyond the same tolerance
+// (speedups shrinking, counters growing). This is the `make bench-check`
+// performance gate:
 //
 //	benchjson -i bench.out -against BENCH_kernel.json -tolerance 10
 package main
@@ -24,10 +26,13 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // runLine matches one benchmark result line, e.g.
@@ -53,9 +58,33 @@ type Bench struct {
 	MinNsOp float64 `json:"min_ns_per_op"`
 }
 
+// Meta records the environment a report was produced in, so committed
+// baselines can be audited when a regression looks like a machine change
+// rather than a code change. GOMAXPROCS is read from the benchjson process;
+// the Makefile pins it in the environment shared with the `go test -bench`
+// invocation, so the recorded value matches the benchmark run.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func currentMeta() *Meta {
+	return &Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
 // Report is the JSON document: raw per-benchmark data plus the derived
-// kernel acceptance figures.
+// kernel acceptance figures and the run environment.
 type Report struct {
+	Meta       *Meta              `json:"meta,omitempty"`
 	Benchmarks []Bench            `json:"benchmarks"`
 	Derived    map[string]float64 `json:"derived,omitempty"`
 }
@@ -82,6 +111,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep.Meta = currentMeta()
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -106,28 +136,32 @@ func main() {
 			log.Fatalf("no common benchmarks with %s — wrong baseline?", *againstPath)
 		}
 		for _, r := range regs {
-			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.1f%%)\n",
-				r.Name, r.Old, r.New, r.Pct, *tolerance)
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.4g -> %.4g %s (%+.1f%%, tolerance %.1f%%)\n",
+				r.Name, r.Old, r.New, r.Unit, r.Pct, *tolerance)
 		}
 		if len(regs) > 0 {
-			log.Fatalf("%d of %d benchmarks regressed beyond %.1f%%", len(regs), compared, *tolerance)
+			log.Fatalf("%d of %d figures regressed beyond %.1f%%", len(regs), compared, *tolerance)
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.1f%% of %s\n",
+		fmt.Fprintf(os.Stderr, "benchjson: %d figures within %.1f%% of %s\n",
 			compared, *tolerance, *againstPath)
 	}
 }
 
-// Regression describes one benchmark that slowed beyond the tolerance.
+// Regression describes one figure that worsened beyond the tolerance.
 type Regression struct {
 	Name     string
-	Old, New float64 // best ns/op
-	Pct      float64 // relative slowdown in percent
+	Old, New float64 // best ns/op, or the derived value
+	Unit     string  // "ns/op" for benchmarks, "" for derived figures
+	Pct      float64 // relative worsening in percent (+Inf when a value collapses to zero)
 }
 
-// compare checks every benchmark present in both reports and returns those
-// whose best ns/op grew by more than tolerance percent, plus the number of
-// benchmarks compared. Benchmarks that exist on only one side are skipped:
-// the gate guards known benchmarks, it does not pin the benchmark set.
+// compare checks every figure present in both reports — each benchmark's
+// best ns/op and each derived value — and returns those that worsened by
+// more than tolerance percent, plus the number of figures compared. For
+// benchmarks worse means slower; for derived "_speedup" figures worse means
+// smaller; for other derived figures (counters like allocs/op) worse means
+// larger. Figures that exist on only one side are skipped: the gate guards
+// known figures, it does not pin the set.
 func compare(old, new *Report, tolerance float64) (regs []Regression, compared int) {
 	oldBy := make(map[string]float64, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
@@ -141,7 +175,46 @@ func compare(old, new *Report, tolerance float64) (regs []Regression, compared i
 		compared++
 		pct := (b.MinNsOp/was - 1) * 100
 		if pct > tolerance {
-			regs = append(regs, Regression{Name: b.Name, Old: was, New: b.MinNsOp, Pct: pct})
+			regs = append(regs, Regression{Name: b.Name, Old: was, New: b.MinNsOp, Unit: "ns/op", Pct: pct})
+		}
+	}
+	keys := make([]string, 0, len(old.Derived))
+	for key := range old.Derived {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		was := old.Derived[key]
+		cur, ok := new.Derived[key]
+		if !ok {
+			continue
+		}
+		var pct float64
+		if strings.HasSuffix(key, "_speedup") {
+			// Higher is better; a ratio needs a positive baseline.
+			if was <= 0 {
+				continue
+			}
+			if cur <= 0 {
+				pct = math.Inf(1)
+			} else {
+				pct = (was/cur - 1) * 100
+			}
+		} else {
+			// Lower is better. A zero baseline (e.g. an allocation-free hot
+			// loop) admits no growth at any tolerance.
+			switch {
+			case was == 0 && cur > 0:
+				pct = math.Inf(1)
+			case was <= 0:
+				pct = 0
+			default:
+				pct = (cur/was - 1) * 100
+			}
+		}
+		compared++
+		if pct > tolerance {
+			regs = append(regs, Regression{Name: "derived/" + key, Old: was, New: cur, Pct: pct})
 		}
 	}
 	return regs, compared

@@ -88,3 +88,58 @@ func TestCompareImprovementsPass(t *testing.T) {
 		t.Fatalf("speedups must never fail the gate: regs=%+v compared=%d", regs, compared)
 	}
 }
+
+func TestCompareGatesDerivedSpeedups(t *testing.T) {
+	old := &Report{Derived: map[string]float64{
+		"saturated_speedup": 2.5,
+		"idle_speedup":      3.6,
+	}}
+	cur := &Report{Derived: map[string]float64{
+		"saturated_speedup": 1.0, // -60%: regression (smaller is worse)
+		"idle_speedup":      3.5, // ~-3%: inside a 5% tolerance
+	}}
+	regs, compared := compare(old, cur, 5)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 derived figures", compared)
+	}
+	if len(regs) != 1 || regs[0].Name != "derived/saturated_speedup" {
+		t.Fatalf("regressions = %+v, want exactly derived/saturated_speedup", regs)
+	}
+	// Growing speedups must pass at any tolerance.
+	better := &Report{Derived: map[string]float64{
+		"saturated_speedup": 9.9,
+		"idle_speedup":      9.9,
+	}}
+	if regs, _ := compare(old, better, 0); len(regs) != 0 {
+		t.Errorf("improved speedups flagged: %+v", regs)
+	}
+}
+
+func TestCompareGatesDerivedCounters(t *testing.T) {
+	old := &Report{Derived: map[string]float64{"event_queue_allocs_per_op": 0}}
+	grown := &Report{Derived: map[string]float64{"event_queue_allocs_per_op": 2}}
+	regs, compared := compare(old, grown, 50)
+	if compared != 1 || len(regs) != 1 {
+		t.Fatalf("zero-baseline counter growth must fail at any tolerance: regs=%+v compared=%d",
+			regs, compared)
+	}
+	same := &Report{Derived: map[string]float64{"event_queue_allocs_per_op": 0}}
+	if regs, _ := compare(old, same, 0); len(regs) != 0 {
+		t.Errorf("unchanged zero counter flagged: %+v", regs)
+	}
+}
+
+func TestCompareSkipsOneSidedDerived(t *testing.T) {
+	old := &Report{Derived: map[string]float64{"old_only": 1}}
+	cur := &Report{Derived: map[string]float64{"new_only": 1}}
+	if regs, compared := compare(old, cur, 5); len(regs) != 0 || compared != 0 {
+		t.Fatalf("one-sided derived figures must be skipped: regs=%+v compared=%d", regs, compared)
+	}
+}
+
+func TestCurrentMetaPopulated(t *testing.T) {
+	m := currentMeta()
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" || m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Errorf("incomplete meta: %+v", m)
+	}
+}
