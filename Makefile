@@ -60,7 +60,7 @@ bench:
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench.out -o BENCH_kernel.json
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
-	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkFigureSuite' -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -o BENCH_sweep.json
 	@rm -f bench.out bench_memctrl.out bench_sweep.out
 	@cat BENCH_kernel.json BENCH_memctrl.json BENCH_sweep.json
@@ -69,13 +69,14 @@ bench:
 # suites and compare each result against the committed reports, failing on
 # any slowdown beyond BENCH_TOLERANCE percent (improvements always pass).
 # Derived figures are gated too: speedups (idle_speedup, saturated_speedup,
-# sweep_fork_speedup) fail when they shrink beyond the tolerance, counters
-# (event_queue_allocs_per_op) when they grow.
+# sweep_fork_speedup, figures_dedup_speedup) fail when they shrink beyond
+# the tolerance, counters (event_queue_allocs_per_op, figures_unique_cells,
+# figures_requested_cells) when they grow.
 bench-check:
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/sim ./internal/event > bench.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 100000x -count 5 ./internal/memctrl > bench_memctrl.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
-	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkSweep -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkFigureSuite' -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -against BENCH_sweep.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
 	@rm -f bench.out bench_memctrl.out bench_sweep.out

@@ -114,12 +114,20 @@ type (
 	// RunGrid resumes instead of restarting. Install via
 	// ExperimentConfig.Checkpoint.
 	CheckpointStore = exper.CheckpointStore
+	// ResultCache memoizes finished (config, mix, scheme) cells in memory
+	// with single-flight deduplication; share one via
+	// ExperimentConfig.Cache so identical cells across runners (e.g. the
+	// bandwidth scales of a sweep) are simulated at most once per process.
+	ResultCache = exper.ResultCache
 )
 
 // NewCheckpointStore opens (creating if needed) a sweep checkpoint directory.
 func NewCheckpointStore(dir string) (*CheckpointStore, error) {
 	return exper.NewCheckpointStore(dir)
 }
+
+// NewResultCache builds an empty shared result cache.
+func NewResultCache() *ResultCache { return exper.NewResultCache() }
 
 // Run-level observability (the experiment engine's counters and timers).
 type (

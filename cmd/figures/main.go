@@ -37,6 +37,8 @@ func main() {
 	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
 	checkpointDir := flag.String("checkpoint-dir", "",
 		"persist finished sweep cells to this directory and resume interrupted grid experiments from them")
+	memoize := flag.Bool("memoize", true,
+		"memoize (config, mix, scheme) cells in memory: cells shared across experiments are simulated once per process")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -74,6 +76,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallel
 	cfg.Sim.Kernel = kernel
+	cfg.NoMemoize = !*memoize
 	if *checkpointDir != "" {
 		cfg.Checkpoint, err = bwpart.NewCheckpointStore(*checkpointDir)
 		if err != nil {

@@ -46,6 +46,8 @@ func main() {
 	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
 	checkpointDir := flag.String("checkpoint-dir", "",
 		"persist finished sweep cells to this directory and resume an interrupted sweep from them")
+	memoize := flag.Bool("memoize", true,
+		"memoize (config, mix, scheme) cells in memory: repeated cells are simulated once per process")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -92,6 +94,10 @@ func main() {
 		ticker := col.StartTicker(os.Stderr, 500*time.Millisecond)
 		defer ticker.Stop()
 	}
+	// One cache across every bandwidth scale: scales key their cells by
+	// distinct config fingerprints, so sharing is safe, and repeated cells
+	// within a process (e.g. overlapping grids) are simulated once.
+	cache := bwpart.NewResultCache()
 
 	w := csv.NewWriter(os.Stdout)
 	header := []string{"scale", "gbs", "mix", "scheme",
@@ -109,6 +115,8 @@ func main() {
 		cfg.Parallelism = *parallel
 		cfg.Obs = col
 		cfg.Checkpoint = store
+		cfg.Cache = cache
+		cfg.NoMemoize = !*memoize
 		cfg.Sim.Kernel = kernel
 		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
 		runner, err := bwpart.NewRunner(cfg)

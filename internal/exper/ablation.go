@@ -47,8 +47,9 @@ func (r *Runner) PagePolicyStudy(mixes []workload.Mix) (*PagePolicyResult, error
 		}
 		row := PagePolicyRow{Mix: mix.Name, Scheme: "fcfs-vs-frfcfs"}
 
-		// Close page + FCFS (the paper's baseline).
-		closeRes, err := r.runRaw(r.cfg.Sim, profs, memctrl.NewFCFS())
+		// Close page + FCFS (the paper's baseline): the runner's own
+		// configuration, so it can fork the mix's shared warm base.
+		closeRes, err := r.runSched(mix, memctrl.NewFCFS())
 		if err != nil {
 			return nil, err
 		}
@@ -69,14 +70,68 @@ func (r *Runner) PagePolicyStudy(mixes []workload.Mix) (*PagePolicyResult, error
 	return out, nil
 }
 
-// runRaw runs a mix with an explicit scheduler (bypassing scheme naming).
+// runRaw runs a mix with an explicit scheduler (bypassing scheme naming)
+// on a cold private system. Studies that change the simulator configuration
+// itself (e.g. the open-page ablation) must use it — their systems cannot
+// share the runner's warm bases; mix-level studies under the runner's own
+// configuration go through runSched, which can.
 func (r *Runner) runRaw(simCfg sim.Config, profs []workload.Profile, sched memctrl.Scheduler) (sim.Result, error) {
 	sys, err := sim.New(simCfg, profs)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	sys.Warmup()
-	if err := sys.Controller().SetScheduler(sched); err != nil {
+	return r.finishConfigured(sys, func(sys *sim.System) error {
+		return sys.Controller().SetScheduler(sched)
+	})
+}
+
+// runSched measures a mix under an explicitly installed scheduler, forking
+// the mix's shared warm base when memoization is on (the next take of a
+// pooled system restores the checkpoint's scheduler, so an installed
+// heuristic never leaks into later cells).
+func (r *Runner) runSched(mix workload.Mix, sched memctrl.Scheduler) (sim.Result, error) {
+	return r.runConfigured(mix, func(sys *sim.System) error {
+		return sys.Controller().SetScheduler(sched)
+	})
+}
+
+// runConfigured runs the settle+measure suffix of a mix run after apply
+// installs an arbitrary controller configuration (scheduler, shares) on a
+// warmed system: a fork of the shared warm base when memoizing, a cold
+// build otherwise.
+func (r *Runner) runConfigured(mix workload.Mix, apply func(sys *sim.System) error) (sim.Result, error) {
+	if r.prepared == nil {
+		profs, err := mix.Profiles()
+		if err != nil {
+			return sim.Result{}, err
+		}
+		sys, err := sim.New(r.cfg.Sim, profs)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		sys.Warmup()
+		return r.finishConfigured(sys, apply)
+	}
+	e, release, err := r.prepared.acquire(r, mix)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer release()
+	sys, err := e.take(r.cfg.Obs)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := r.finishConfigured(sys, apply)
+	if err == nil {
+		e.put(sys)
+	}
+	return res, err
+}
+
+// finishConfigured applies the configuration and runs settle + measure.
+func (r *Runner) finishConfigured(sys *sim.System, apply func(sys *sim.System) error) (sim.Result, error) {
+	if err := apply(sys); err != nil {
 		return sim.Result{}, err
 	}
 	if r.cfg.Tracer != nil {
@@ -143,10 +198,6 @@ type MechanismResult struct {
 func (r *Runner) MechanismStudy(mixes []workload.Mix) (*MechanismResult, error) {
 	out := &MechanismResult{}
 	for _, mix := range mixes {
-		profs, err := mix.Profiles()
-		if err != nil {
-			return nil, err
-		}
 		apcAlone, _, ipcAlone, err := r.aloneVectors(mix)
 		if err != nil {
 			return nil, err
@@ -159,7 +210,7 @@ func (r *Runner) MechanismStudy(mixes []workload.Mix) (*MechanismResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		stfRes, err := r.runRaw(r.cfg.Sim, profs, stf)
+		stfRes, err := r.runSched(mix, stf)
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +218,7 @@ func (r *Runner) MechanismStudy(mixes []workload.Mix) (*MechanismResult, error) 
 		if err != nil {
 			return nil, err
 		}
-		btRes, err := r.runRaw(r.cfg.Sim, profs, bt)
+		btRes, err := r.runSched(mix, bt)
 		if err != nil {
 			return nil, err
 		}
@@ -221,10 +272,6 @@ func (r *Runner) EnforcementStudy(mixes []workload.Mix) (*EnforcementResult, err
 		{metrics.ObjectiveIPCSum, core.PriorityAPI()},
 	}
 	for _, mix := range mixes {
-		profs, err := mix.Profiles()
-		if err != nil {
-			return nil, err
-		}
 		apcAlone, api, ipcAlone, err := r.aloneVectors(mix)
 		if err != nil {
 			return nil, err
@@ -239,7 +286,7 @@ func (r *Runner) EnforcementStudy(mixes []workload.Mix) (*EnforcementResult, err
 			if err != nil {
 				return nil, err
 			}
-			strictRes, err := r.runRaw(r.cfg.Sim, profs, pr)
+			strictRes, err := r.runSched(mix, pr)
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +311,7 @@ func (r *Runner) EnforcementStudy(mixes []workload.Mix) (*EnforcementResult, err
 			if err != nil {
 				return nil, err
 			}
-			shareRes, err := r.runRaw(r.cfg.Sim, profs, stf)
+			shareRes, err := r.runSched(mix, stf)
 			if err != nil {
 				return nil, err
 			}

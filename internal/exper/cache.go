@@ -1,0 +1,117 @@
+package exper
+
+import (
+	"fmt"
+	"maps"
+	"sync"
+
+	"bwpart/internal/obs"
+	"bwpart/internal/sim"
+)
+
+// ResultCache memoizes finished (config fingerprint, mix, scheme) cells in
+// memory with single-flight deduplication: concurrent requests for the same
+// cell share one simulation, and every caller — leader or waiter — gets its
+// own deep copy, so mutating a returned MixRun can never corrupt the cached
+// master. A cache may be shared across runners (e.g. one cache for every
+// bandwidth scale of a sweep); cells from different configurations never
+// collide because the fingerprint is part of the key.
+//
+// Errors are not cached: a failed flight is removed so a later request
+// retries, and every caller that joined the flight observes the error.
+type ResultCache struct {
+	mu    sync.Mutex
+	cells map[string]*cellFlight
+}
+
+// cellFlight is one in-flight or finished cell. done is closed exactly once,
+// after run/err are final.
+type cellFlight struct {
+	done chan struct{}
+	run  *MixRun // immutable master copy; nil iff err != nil
+	err  error
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{cells: make(map[string]*cellFlight)}
+}
+
+// Len reports how many finished cells the cache holds (in-flight cells
+// count too; they resolve to finished or are removed on error).
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// Do returns the memoized cell for key, invoking fn at most once per key
+// across all concurrent callers. The leader's fn result is deep-copied into
+// the cache; hits and coalesced waiters get fresh deep copies. Counters:
+// a hit on a finished cell records CellCacheHit, joining an in-flight
+// simulation records CellCacheCoalesced, and a leader records CellCacheMiss.
+func (c *ResultCache) Do(key string, col *obs.Collector, fn func() (*MixRun, error)) (*MixRun, error) {
+	c.mu.Lock()
+	if f, ok := c.cells[key]; ok {
+		select {
+		case <-f.done:
+			col.CellCacheHit()
+		default:
+			col.CellCacheCoalesced()
+		}
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		return copyMixRun(f.run), nil
+	}
+	f := &cellFlight{done: make(chan struct{})}
+	c.cells[key] = f
+	c.mu.Unlock()
+	col.CellCacheMiss()
+
+	finished := false
+	// A panicking fn would otherwise leave the flight open forever and
+	// deadlock every waiter: fail the flight, then let the panic propagate
+	// (runJobs converts it into a job error).
+	defer func() {
+		if !finished {
+			f.err = fmt.Errorf("exper: cell simulation panicked")
+			c.mu.Lock()
+			delete(c.cells, key)
+			c.mu.Unlock()
+			close(f.done)
+		}
+	}()
+	run, err := fn()
+	finished = true
+	if err != nil {
+		f.err = err
+		c.mu.Lock()
+		delete(c.cells, key)
+		c.mu.Unlock()
+		close(f.done)
+		return nil, err
+	}
+	f.run = run
+	close(f.done)
+	// The leader gets a deep copy too: fn's result becomes the cache's
+	// master and is never handed out, so no caller — leader included —
+	// holds memory any other caller (or the cache) can see.
+	return copyMixRun(run), nil
+}
+
+// copyMixRun deep-copies a MixRun. Every field is plain data (slices of
+// scalars, a map of objective values), so an element-wise copy severs all
+// sharing between the cache's master copy and what callers receive.
+func copyMixRun(run *MixRun) *MixRun {
+	cp := *run
+	cp.Mix.Benchmarks = append([]string(nil), run.Mix.Benchmarks...)
+	cp.IPCAlone = append([]float64(nil), run.IPCAlone...)
+	cp.APCAlone = append([]float64(nil), run.APCAlone...)
+	cp.API = append([]float64(nil), run.API...)
+	cp.Result.Apps = append([]sim.AppResult(nil), run.Result.Apps...)
+	cp.Values = maps.Clone(run.Values)
+	return &cp
+}

@@ -7,7 +7,6 @@ import (
 	"path/filepath"
 
 	"bwpart/internal/workload"
-	"bwpart/internal/xrand"
 )
 
 // CheckpointStore persists finished (mix, scheme) sweep cells as JSON files
@@ -34,28 +33,13 @@ func NewCheckpointStore(dir string) (*CheckpointStore, error) {
 // Dir returns the store's directory.
 func (s *CheckpointStore) Dir() string { return s.dir }
 
-// fingerprint folds every configuration field that influences a cell's
-// result into one hash. Two runners with equal fingerprints produce
-// bit-identical cells, so a stored cell is reusable exactly when the
-// fingerprints match.
-func (r *Runner) fingerprint() uint64 {
-	c := r.cfg
-	var power string
-	if c.Sim.Power != nil {
-		power = fmt.Sprintf("%+v", *c.Sim.Power)
-	}
-	desc := fmt.Sprintf("%+v|%+v|%+v|%+v|shared=%v|quota=%v|pf=%d|warm=%d|qcap=%d|kernel=%d|power=%s|%d|%d|%d|seed=%d",
-		c.Sim.DRAM, c.Sim.L1, c.Sim.L2, c.Sim.Core,
-		c.Sim.SharedL2, c.Sim.L2WayQuota, c.Sim.L2PrefetchDepth,
-		c.Sim.WarmupInstructions, c.Sim.QueueCap, c.Sim.Kernel, power,
-		c.ProfileCycles, c.SettleCycles, c.MeasureCycles, c.Seed)
-	return xrand.Mix(xrand.HashString(desc))
-}
-
 // cellPath names the file for one (mix, scheme) cell under the runner's
-// configuration fingerprint.
+// canonical configuration fingerprint (see fingerprint.go). The encoding
+// version is stamped into the name alongside a fingerprint prefix, so a
+// version bump — or any config difference — lands on a different path and
+// old files become plain cache misses.
 func (s *CheckpointStore) cellPath(r *Runner, mixName, scheme string) string {
-	return filepath.Join(s.dir, fmt.Sprintf("%s__%s__%016x.json", mixName, scheme, r.fingerprint()))
+	return filepath.Join(s.dir, fmt.Sprintf("%s__%s__v%d-%s.json", mixName, scheme, FingerprintVersion, r.fp[:16]))
 }
 
 // Load returns the stored cell for (mix, scheme) under r's configuration,

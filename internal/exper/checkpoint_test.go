@@ -13,11 +13,17 @@ import (
 
 // TestRunGridForkedMatchesColdCells is the experiment-level differential
 // check behind the forked sweep: every cell produced by RunGrid (one warmup
-// per mix, forked per scheme) must be byte-for-byte equal — full Result,
-// objective values, profile vectors — to the same cell simulated cold via
-// RunMix (its own warmup).
+// per mix, forked per scheme, memoized) must be byte-for-byte equal — full
+// Result, objective values, profile vectors — to the same cell simulated
+// cold by the NoMemoize reference executor (its own warmup per cell).
 func TestRunGridForkedMatchesColdCells(t *testing.T) {
 	r, err := NewRunner(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldCfg := Quick()
+	coldCfg.NoMemoize = true
+	cold, err := NewRunner(coldCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,12 +37,12 @@ func TestRunGridForkedMatchesColdCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, scheme := range schemes {
-		cold, err := r.RunMix(mix, scheme)
+		want, err := cold.RunMix(mix, scheme)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !reflect.DeepEqual(cold, runs[i]) {
-			t.Errorf("%s: forked cell diverges from cold run\ncold: %+v\nfork: %+v", scheme, cold, runs[i])
+		if !reflect.DeepEqual(want, runs[i]) {
+			t.Errorf("%s: forked cell diverges from cold run\ncold: %+v\nfork: %+v", scheme, want, runs[i])
 		}
 	}
 }

@@ -8,6 +8,7 @@ package exper
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"bwpart/internal/core"
 	"bwpart/internal/metrics"
@@ -46,10 +47,25 @@ type Config struct {
 	// memory-controller queue-depth statistics for every run. Nil disables
 	// observability at negligible cost.
 	Obs *obs.Collector
-	// Checkpoint, when set, persists every finished (mix, scheme) cell of a
-	// RunGrid sweep and resumes an interrupted sweep by loading the cells
-	// already on disk instead of re-simulating them.
+	// Checkpoint, when set, persists every finished (mix, scheme) cell and
+	// resumes interrupted work by loading the cells already on disk instead
+	// of re-simulating them.
 	Checkpoint *CheckpointStore
+	// Cache shares an in-memory result cache across runners: a unique
+	// (config fingerprint, mix, scheme) cell is simulated at most once per
+	// process, concurrent requests coalesce onto one simulation, and every
+	// caller gets an isolated deep copy. Nil gives the runner a private
+	// cache (NewRunner fills this field, so sub-runners derived from
+	// Runner.Config() inherit it).
+	Cache *ResultCache
+	// NoMemoize disables the result cache and warm-base sharing entirely:
+	// every RunMix re-warms and re-simulates from scratch. This is the
+	// reference executor the differential tests compare against.
+	NoMemoize bool
+	// PreparedCap bounds how many warm mix bases the runner keeps alive at
+	// once (LRU-evicted beyond that; 0 = a small default). Bases pinned by
+	// in-flight measurements are never evicted.
+	PreparedCap int
 }
 
 // Default returns the full-fidelity configuration used for the recorded
@@ -84,11 +100,34 @@ func (c Config) Validate() error {
 	return c.Sim.DRAM.Validate()
 }
 
-// Runner executes experiments, caching standalone profiles per benchmark
-// so a profile run happens once per (benchmark, memory configuration).
+// defaultPreparedCap is the warm-base LRU bound when Config.PreparedCap is
+// zero: enough that the paper's figure suites keep their working set warm,
+// small enough that huge sweeps stay memory-bounded.
+const defaultPreparedCap = 8
+
+// Runner executes experiments. Standalone profiles are cached per benchmark
+// (single-flight, so concurrent first requests share one profiling run),
+// and unless Config.NoMemoize is set, every (mix, scheme) cell flows
+// through a memoized executor: the result cache deduplicates whole cells
+// and the prepared-mix registry shares one warm base per mix across RunMix,
+// the figures, heuristics, and repeatability studies.
 type Runner struct {
-	cfg   Config
-	alone map[string]sim.AloneProfile
+	cfg Config
+	fp  string // canonical configuration fingerprint, fixed at construction
+
+	aloneMu      sync.Mutex
+	alone        map[string]sim.AloneProfile
+	aloneFlights map[string]*aloneFlight
+
+	cache    *ResultCache      // nil iff NoMemoize
+	prepared *preparedRegistry // nil iff NoMemoize
+}
+
+// aloneFlight is one in-flight standalone profiling run.
+type aloneFlight struct {
+	done chan struct{}
+	ap   sim.AloneProfile
+	err  error
 }
 
 // NewRunner builds a Runner over cfg.
@@ -97,7 +136,27 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	cfg.Sim.Seed = cfg.Seed
-	return &Runner{cfg: cfg, alone: make(map[string]sim.AloneProfile)}, nil
+	r := &Runner{
+		alone:        make(map[string]sim.AloneProfile),
+		aloneFlights: make(map[string]*aloneFlight),
+		fp:           configFingerprint(cfg),
+	}
+	if !cfg.NoMemoize {
+		if cfg.Cache == nil {
+			cfg.Cache = NewResultCache()
+		}
+		capacity := cfg.PreparedCap
+		if capacity <= 0 {
+			capacity = defaultPreparedCap
+		}
+		r.cache = cfg.Cache
+		r.prepared = newPreparedRegistry(capacity, cfg.Obs)
+	}
+	// cfg.Cache is written back (above) so sub-runners built from this
+	// runner's Config() — per-seed repeatability runners, Figure 4's
+	// per-bandwidth runners — share the same process-wide cache.
+	r.cfg = cfg
+	return r, nil
 }
 
 // Config returns the runner's configuration.
@@ -112,30 +171,63 @@ func profileAloneFor(cfg Config, p workload.Profile) (aloneEntry, error) {
 	return sim.ProfileAlone(cfg.Sim, p, cfg.ProfileCycles)
 }
 
-// Alone returns the cached standalone profile of a benchmark. Not safe for
-// concurrent first-miss use; parallel sweeps pre-warm the cache via
-// warmAloneCache.
+// Alone returns the cached standalone profile of a benchmark, profiling it
+// on first use. Safe for concurrent use: concurrent first requests for the
+// same benchmark coalesce onto one profiling run (single-flight), so a
+// profile run happens once per (benchmark, memory configuration).
 func (r *Runner) Alone(name string) (sim.AloneProfile, error) {
+	r.aloneMu.Lock()
 	if ap, ok := r.alone[name]; ok {
+		r.aloneMu.Unlock()
 		return ap, nil
 	}
+	if f, ok := r.aloneFlights[name]; ok {
+		r.aloneMu.Unlock()
+		<-f.done
+		return f.ap, f.err
+	}
+	f := &aloneFlight{done: make(chan struct{})}
+	r.aloneFlights[name] = f
+	r.aloneMu.Unlock()
+
+	finished := false
+	// A panic mid-profile must not leave waiters blocked on the flight.
+	defer func() {
+		if !finished {
+			f.err = errors.New("exper: standalone profiling panicked")
+			r.finishAloneFlight(name, f)
+		}
+	}()
 	p, err := workload.ByName(name)
-	if err != nil {
-		return sim.AloneProfile{}, err
+	if err == nil {
+		stop := r.cfg.Obs.StageStart(obs.StageProfile)
+		f.ap, f.err = profileAloneFor(r.cfg, p)
+		stop()
+	} else {
+		f.err = err
 	}
-	stop := r.cfg.Obs.StageStart(obs.StageProfile)
-	ap, err := profileAloneFor(r.cfg, p)
-	stop()
-	if err != nil {
-		return sim.AloneProfile{}, err
+	finished = true
+	r.finishAloneFlight(name, f)
+	return f.ap, f.err
+}
+
+// finishAloneFlight publishes a completed profiling flight: successes enter
+// the cache, failures are forgotten so a later request retries.
+func (r *Runner) finishAloneFlight(name string, f *aloneFlight) {
+	r.aloneMu.Lock()
+	if f.err == nil {
+		r.alone[name] = f.ap
 	}
-	r.alone[name] = ap
-	return ap, nil
+	delete(r.aloneFlights, name)
+	r.aloneMu.Unlock()
+	close(f.done)
 }
 
 // cached reports whether a benchmark's standalone profile is already known.
 func (r *Runner) cached(name string) bool {
+	r.aloneMu.Lock()
 	_, ok := r.alone[name]
+	r.aloneMu.Unlock()
 	return ok
 }
 
@@ -292,13 +384,100 @@ func (r *Runner) measureOn(p *preparedMix, sys *sim.System, scheme string) (*Mix
 }
 
 // RunMix simulates one mix under one scheme (NoPartitioning or a core
-// scheme name) and evaluates all four objectives. Single-cell runs measure
-// directly on the prepared base; sweeps go through RunGrid, which shares
-// one prepared base across all of a mix's schemes.
+// scheme name) and evaluates all four objectives. Unless the runner was
+// built with NoMemoize, the call flows through the memoized cell executor:
+// an identical cell already simulated (by any entry point sharing the
+// cache) is returned as a deep copy, a concurrent identical request joins
+// the in-flight simulation, and a fresh cell is measured on a fork of the
+// mix's shared warm base.
 func (r *Runner) RunMix(mix workload.Mix, scheme string) (*MixRun, error) {
+	return r.cell(mix, scheme)
+}
+
+// cell is the one memoized executor every (mix, scheme) simulation flows
+// through. With a tracer installed the result cache is bypassed — a cache
+// hit would silently skip the trace the caller asked for — but warm-base
+// sharing still applies (forked runs emit bit-identical traces).
+func (r *Runner) cell(mix workload.Mix, scheme string) (*MixRun, error) {
+	exec := func() (*MixRun, error) { return r.executeCell(mix, scheme) }
+	var run *MixRun
+	var err error
+	if r.cache == nil || r.cfg.Tracer != nil {
+		run, err = exec()
+	} else {
+		run, err = r.cache.Do(cellKey(r.fp, mix, scheme), r.cfg.Obs, exec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Cells are content-addressed, so a hit may carry the labels of an
+	// aliased mix (e.g. hetero-5 serving the motivation mix). Restamp the
+	// requested mix's display fields; the benchmark list is equal by key
+	// construction and the simulation never read the labels.
+	run.Mix.Name = mix.Name
+	run.Mix.PaperRSD = mix.PaperRSD
+	return run, nil
+}
+
+// executeCell resolves one cell below the in-memory cache: the on-disk
+// checkpoint store first, then a real simulation (shared warm base when
+// memoizing, full cold run otherwise), persisting the fresh result.
+func (r *Runner) executeCell(mix workload.Mix, scheme string) (*MixRun, error) {
+	if r.cfg.Checkpoint != nil {
+		if run, ok := r.cfg.Checkpoint.Load(r, mix, scheme); ok {
+			return run, nil
+		}
+	}
+	var run *MixRun
+	var err error
+	if r.prepared != nil {
+		run, err = r.runCellShared(mix, scheme)
+	} else {
+		run, err = r.runCellCold(mix, scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.Checkpoint != nil {
+		if err := r.cfg.Checkpoint.Save(r, run); err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return run, nil
+}
+
+// runCellCold is the reference executor: build, warm, and measure a private
+// system for this one cell. The differential tests compare every memoized
+// path against it.
+func (r *Runner) runCellCold(mix workload.Mix, scheme string) (*MixRun, error) {
 	p, err := r.prepareMix(mix)
 	if err != nil {
 		return nil, err
 	}
 	return r.measureOn(p, p.base, scheme)
+}
+
+// runCellShared measures the cell on a fork of the mix's shared warm base,
+// holding the base pinned (against LRU eviction) for the duration.
+func (r *Runner) runCellShared(mix workload.Mix, scheme string) (*MixRun, error) {
+	e, release, err := r.prepared.acquire(r, mix)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	sys, err := e.take(r.cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	run, err := r.measureOn(e.p, sys, scheme)
+	if err != nil {
+		return nil, err
+	}
+	e.put(sys)
+	// The shared base may have been prepared under an aliased mix name
+	// (prepared entries are content-addressed); stamp the requested labels
+	// before the checkpoint store files this run by name.
+	run.Mix.Name = mix.Name
+	run.Mix.PaperRSD = mix.PaperRSD
+	return run, nil
 }

@@ -144,12 +144,9 @@ func (r *Runner) qosTarget(apcAlone, api float64) float64 {
 }
 
 // runWithShares simulates the mix with an explicit APC allocation enforced
-// as start-time-fair shares.
+// as start-time-fair shares, forking the mix's shared warm base when
+// memoization is on (a cold system otherwise).
 func (r *Runner) runWithShares(mix workload.Mix, apcTargets []float64) (sim.Result, error) {
-	profs, err := mix.Profiles()
-	if err != nil {
-		return sim.Result{}, err
-	}
 	shares := make([]float64, len(apcTargets))
 	var total float64
 	for _, x := range apcTargets {
@@ -163,18 +160,9 @@ func (r *Runner) runWithShares(mix workload.Mix, apcTargets []float64) (sim.Resu
 			shares[i] = 1e-6
 		}
 	}
-	sys, err := sim.New(r.cfg.Sim, profs)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	sys.Warmup()
-	if err := sys.ApplyShares(shares); err != nil {
-		return sim.Result{}, err
-	}
-	sys.Run(r.cfg.SettleCycles)
-	sys.ResetStats()
-	sys.Run(r.cfg.MeasureCycles)
-	return sys.Results(), nil
+	return r.runConfigured(mix, func(sys *sim.System) error {
+		return sys.ApplyShares(shares)
+	})
 }
 
 // Render prints the figure's two groups of bars.

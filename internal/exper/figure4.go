@@ -47,6 +47,9 @@ func (r *Runner) figure4(mixes []workload.Mix, factors []int) (*Figure4Result, e
 		out.Points = append(out.Points, ScalePoint{Factor: factor, GBs: scaleCfg.Sim.DRAM.PeakBandwidthGBs()})
 		// A dedicated runner per scale point: APC_alone depends on the
 		// memory system, so profiles cannot be shared across bandwidths.
+		// The sub-runner inherits the parent's result cache (scaleCfg
+		// copies r.cfg), but its scaled DRAM yields a different
+		// fingerprint, so its cells key separately.
 		sub, err := NewRunner(scaleCfg)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,67 @@
+package exper
+
+import (
+	"testing"
+
+	"bwpart/internal/obs"
+)
+
+// benchFigureConfig amplifies the warmup relative to the measured windows,
+// as benchSweepConfig does, so the pair isolates what memoization saves on
+// a full figure pass: cold pays one warmup per cell, memoized one per mix
+// plus a fork per cell, and cells repeated across figures (Figure 1's mix
+// and Figure 3's baselines reappear in Figure 2's grid) are free hits.
+func benchFigureConfig() Config {
+	cfg := Quick()
+	cfg.Sim.WarmupInstructions = 800_000
+	cfg.ProfileCycles = 150_000
+	cfg.SettleCycles = 20_000
+	cfg.MeasureCycles = 100_000
+	return cfg
+}
+
+// runFigureSuite executes one full Figure 1 + Figure 2 + Figure 3 pass on a
+// fresh runner, so every iteration starts from an empty cache and measures
+// the whole warm-up-and-dedup lifecycle, not steady-state hits.
+func runFigureSuite(b *testing.B, cfg Config) {
+	b.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Figure1(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Figure2(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := r.Figure3(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFigureSuite compares a full Figure 1-3 pass simulated cold (every
+// cell warms and measures its own system) against the memoized executor
+// (shared warm bases, content-addressed cell dedup). benchjson derives
+// figures_dedup_speedup from the pair and records the memoized arm's
+// unique-vs-requested cell counts.
+func BenchmarkFigureSuite(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		cfg := benchFigureConfig()
+		cfg.NoMemoize = true
+		for i := 0; i < b.N; i++ {
+			runFigureSuite(b, cfg)
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		var last obs.CacheStats
+		for i := 0; i < b.N; i++ {
+			cfg := benchFigureConfig()
+			cfg.Obs = obs.NewCollector()
+			runFigureSuite(b, cfg)
+			last = cfg.Obs.Snapshot().Cache
+		}
+		b.ReportMetric(float64(last.Hits+last.Misses+last.Coalesced), "requested_cells")
+		b.ReportMetric(float64(last.Misses), "unique_cells")
+	})
+}

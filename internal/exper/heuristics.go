@@ -67,22 +67,19 @@ func (r *Runner) RunHeuristics(mixes []workload.Mix) (*HeuristicStudy, error) {
 				out.Normalized[cfgName][obj] += run.Values[obj] / base.Values[obj]
 			}
 		}
-		// Heuristic configurations install the scheduler directly.
-		profs, err := mix.Profiles()
-		if err != nil {
-			return nil, err
-		}
+		// Heuristic configurations install the scheduler directly, forking
+		// the same warm base the scheme cells above shared.
 		_, _, ipcAlone, err := r.aloneVectors(mix)
 		if err != nil {
 			return nil, err
 		}
 		for _, h := range HeuristicNames() {
-			mk := heuristicFactories(len(profs), r.cfg.Seed)[h]
+			mk := heuristicFactories(len(mix.Benchmarks), r.cfg.Seed)[h]
 			sched, err := mk()
 			if err != nil {
 				return nil, err
 			}
-			res, err := r.runRaw(r.cfg.Sim, profs, sched)
+			res, err := r.runSched(mix, sched)
 			if err != nil {
 				return nil, err
 			}

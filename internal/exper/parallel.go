@@ -175,20 +175,21 @@ func Grid(mixes []workload.Mix, schemes []string) []GridCell {
 	return cells
 }
 
-// RunGrid is the experiment engine's sweep entry point. Grid points sharing
-// a mix share their entire pre-measurement history (workload, topology,
-// functional warmup), so the sweep runs in two phases: phase A prepares one
-// warmed, checkpointed base per mix (in parallel across mixes); phase B
-// forks that base for every (mix, scheme) cell and measures the fork (in
-// parallel across cells). The base is never advanced after its snapshot —
-// every cell runs on its own fork — so concurrent cells of one mix share no
-// mutable state, and each cell's result is bit-identical to a cold run.
+// RunGrid is the experiment engine's sweep entry point. Every cell flows
+// through the same memoized executor as RunMix, so grid points sharing a
+// mix share one warm base from the prepared-mix registry, identical cells
+// already simulated anywhere in the process are cache hits, and finished
+// cells persist through Config.Checkpoint. Cells are dispatched in
+// mix-groups no larger than the registry's warm-base capacity: each group's
+// bases are prepared in parallel and pinned, the group's cells fork and
+// measure in parallel, then the pins drop — so a thousand-mix sweep holds a
+// bounded number of warm systems while still keeping every worker busy.
 //
-// With Config.Checkpoint set, finished cells are persisted and an
-// interrupted sweep resumes by loading them; only mixes with missing cells
-// are profiled and prepared. Results arrive in deterministic row-major
-// order matching Grid(mixes, schemes). ctx cancels the sweep between
-// simulations.
+// With Config.Checkpoint set, an interrupted sweep resumes by loading the
+// cells already on disk; only mixes with missing cells are profiled and
+// prepared (a fully resumed grid dispatches no jobs at all). Results arrive
+// in deterministic row-major order matching Grid(mixes, schemes). ctx
+// cancels the sweep between simulations.
 func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []string) ([]*MixRun, error) {
 	cells := Grid(mixes, schemes)
 	results := make([]*MixRun, len(cells))
@@ -209,12 +210,14 @@ func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []st
 	// Only mixes with missing cells need alone profiles and a warmed base.
 	needIdx := make([]int, 0, len(mixes))
 	seen := make(map[int]bool, len(mixes))
+	byMix := make(map[int][]int, len(mixes)) // mix index -> missing cell indices
 	for _, ci := range missing {
 		mi := ci / len(schemes)
 		if !seen[mi] {
 			seen[mi] = true
 			needIdx = append(needIdx, mi)
 		}
+		byMix[mi] = append(byMix[mi], ci)
 	}
 	needMixes := make([]workload.Mix, len(needIdx))
 	for k, mi := range needIdx {
@@ -224,39 +227,61 @@ func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []st
 		return nil, err
 	}
 
-	// Phase A: warmup once per mix.
-	prepared := make([]*preparedMix, len(mixes))
-	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(needIdx), func(k int) error {
-		mi := needIdx[k]
-		p, err := r.prepareMix(mixes[mi])
-		if err != nil {
-			return fmt.Errorf("%s: %w", mixes[mi].Name, err)
-		}
-		prepared[mi] = p
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Phase B: fork and measure every missing cell.
-	err = runJobs(ctx, r.parallelism(), r.cfg.Obs, len(missing), func(k int) error {
-		ci := missing[k]
+	measure := func(ci int) error {
 		cell := cells[ci]
-		run, err := r.measureScheme(prepared[ci/len(schemes)], cell.Scheme)
+		run, err := r.cell(cell.Mix, cell.Scheme)
 		if err != nil {
 			return fmt.Errorf("%s/%s: %w", cell.Mix.Name, cell.Scheme, err)
 		}
-		if r.cfg.Checkpoint != nil {
-			if err := r.cfg.Checkpoint.Save(r, run); err != nil {
-				return fmt.Errorf("%s/%s: checkpoint: %w", cell.Mix.Name, cell.Scheme, err)
-			}
-		}
 		results[ci] = run
 		return nil
-	})
-	if err != nil {
-		return nil, err
+	}
+
+	if r.prepared == nil {
+		// Reference executor: every missing cell runs cold, fanned out flat.
+		return results, runJobs(ctx, r.parallelism(), r.cfg.Obs, len(missing), func(k int) error {
+			return measure(missing[k])
+		})
+	}
+
+	groupSize := r.prepared.cap
+	for start := 0; start < len(needIdx); start += groupSize {
+		group := needIdx[start:min(start+groupSize, len(needIdx))]
+
+		// Pin (and prepare, first time) the group's warm bases in parallel,
+		// so the group's cells never race to re-warm an evicted base.
+		releases := make([]func(), len(group))
+		err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(group), func(k int) error {
+			_, release, err := r.prepared.acquire(r, mixes[group[k]])
+			if err != nil {
+				return fmt.Errorf("%s: %w", mixes[group[k]].Name, err)
+			}
+			releases[k] = release
+			return nil
+		})
+		unpin := func() {
+			for _, release := range releases {
+				if release != nil {
+					release()
+				}
+			}
+		}
+		if err != nil {
+			unpin()
+			return nil, err
+		}
+
+		groupCells := make([]int, 0, len(group)*len(schemes))
+		for _, mi := range group {
+			groupCells = append(groupCells, byMix[mi]...)
+		}
+		err = runJobs(ctx, r.parallelism(), r.cfg.Obs, len(groupCells), func(k int) error {
+			return measure(groupCells[k])
+		})
+		unpin()
+		if err != nil {
+			return nil, err
+		}
 	}
 	return results, nil
 }
@@ -307,9 +332,9 @@ func (r *Runner) Figure2Parallel() (*Figure2Result, error) {
 	return out, nil
 }
 
-// warmAloneCache profiles every benchmark of the given mixes concurrently
-// and stores the results in the runner's cache. After it returns, RunMix
-// only reads the cache, making concurrent RunMix calls safe.
+// warmAloneCache profiles every benchmark of the given mixes concurrently.
+// Alone is already single-flight, so this is purely a fan-out: after it
+// returns, later lookups are cache reads.
 func (r *Runner) warmAloneCache(ctx context.Context, mixes []workload.Mix) error {
 	seen := map[string]bool{}
 	var names []string
@@ -321,30 +346,8 @@ func (r *Runner) warmAloneCache(ctx context.Context, mixes []workload.Mix) error
 			}
 		}
 	}
-	profiles := make([]struct {
-		name string
-		ap   aloneEntry
-	}, len(names))
-	err := runJobs(ctx, r.parallelism(), r.cfg.Obs, len(names), func(i int) error {
-		p, err := workload.ByName(names[i])
-		if err != nil {
-			return err
-		}
-		stop := r.cfg.Obs.StageStart(obs.StageProfile)
-		ap, err := profileAloneFor(r.cfg, p)
-		stop()
-		if err != nil {
-			return err
-		}
-		profiles[i].name = names[i]
-		profiles[i].ap = ap
-		return nil
-	})
-	if err != nil {
+	return runJobs(ctx, r.parallelism(), r.cfg.Obs, len(names), func(i int) error {
+		_, err := r.Alone(names[i])
 		return err
-	}
-	for _, pr := range profiles {
-		r.alone[pr.name] = pr.ap
-	}
-	return nil
+	})
 }

@@ -1,0 +1,171 @@
+package exper
+
+import (
+	"fmt"
+	"sync"
+
+	"bwpart/internal/obs"
+	"bwpart/internal/sim"
+	"bwpart/internal/workload"
+)
+
+// preparedRegistry shares warmed bases across every simulation entry point
+// of one runner: the first request for a mix pays its functional warmup and
+// snapshot (single-flight — concurrent requests join the same preparation),
+// and every subsequent measurement forks from that warm base instead of
+// re-warming. Entries are refcounted while a caller works from them and
+// evicted least-recently-used once the registry exceeds its capacity, so a
+// thousand-mix sweep holds at most cap warm systems at a time; an evicted
+// mix is simply re-warmed on its next use (correctness is unaffected —
+// forked runs are bit-identical to cold runs).
+//
+// Each entry also pools fork targets: a measured sim.System is returned to
+// the entry's free list and the next fork restores the warm checkpoint into
+// it (Restore reinstalls scheduler, caches, cores, and RNG streams from the
+// checkpoint), so steady-state sweeps stop rebuilding full systems per cell.
+type preparedRegistry struct {
+	mu      sync.Mutex
+	cap     int
+	col     *obs.Collector
+	clock   int64 // logical LRU clock, bumped per acquire
+	entries map[string]*preparedEntry
+}
+
+type preparedEntry struct {
+	key     string
+	refs    int   // callers currently working from this base
+	lastUse int64 // registry clock at last acquire
+
+	done chan struct{} // closed when preparation finished
+	p    *preparedMix
+	err  error
+
+	poolMu sync.Mutex
+	pool   []*sim.System // idle fork targets; base itself never enters
+	poolN  int           // upper bound on pooled systems
+}
+
+func newPreparedRegistry(capacity int, col *obs.Collector) *preparedRegistry {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &preparedRegistry{cap: capacity, col: col, entries: make(map[string]*preparedEntry)}
+}
+
+// acquire returns the prepared entry for mix, preparing it (once, under
+// single-flight) if absent, and pins it against eviction. The returned
+// release must be called when the caller no longer needs the base.
+func (g *preparedRegistry) acquire(r *Runner, mix workload.Mix) (*preparedEntry, func(), error) {
+	key := mixKey(mix)
+	g.mu.Lock()
+	g.clock++
+	e, ok := g.entries[key]
+	if ok {
+		e.refs++
+		e.lastUse = g.clock
+		g.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			g.release(e)
+			return nil, nil, e.err
+		}
+		return e, func() { g.release(e) }, nil
+	}
+	e = &preparedEntry{key: key, refs: 1, lastUse: g.clock, done: make(chan struct{}), poolN: r.parallelism()}
+	g.entries[key] = e
+	g.evictLocked()
+	g.mu.Unlock()
+
+	finished := false
+	defer func() {
+		if !finished {
+			// A panic during preparation must not leave waiters blocked.
+			e.err = fmt.Errorf("exper: mix preparation panicked")
+			g.mu.Lock()
+			delete(g.entries, key)
+			g.mu.Unlock()
+			close(e.done)
+		}
+	}()
+	p, err := r.prepareMix(mix)
+	finished = true
+	if err != nil {
+		e.err = err
+		g.mu.Lock()
+		delete(g.entries, key)
+		g.mu.Unlock()
+		close(e.done)
+		return nil, nil, err
+	}
+	e.p = p
+	close(e.done)
+	return e, func() { g.release(e) }, nil
+}
+
+func (g *preparedRegistry) release(e *preparedEntry) {
+	g.mu.Lock()
+	e.refs--
+	g.evictLocked()
+	g.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used unpinned entries until the registry
+// fits its capacity. Entries still being prepared or still referenced are
+// never evicted; if everything is pinned the registry temporarily exceeds
+// cap rather than blocking.
+func (g *preparedRegistry) evictLocked() {
+	for len(g.entries) > g.cap {
+		var victim *preparedEntry
+		for _, e := range g.entries {
+			if e.refs > 0 {
+				continue
+			}
+			select {
+			case <-e.done:
+			default:
+				continue // mid-preparation; its preparer holds no map lock
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(g.entries, victim.key)
+		g.col.PreparedEvicted()
+	}
+}
+
+// take returns a system positioned at the entry's warm checkpoint: a pooled
+// fork target restored in place when one is idle, else a fresh fork of the
+// base. The base itself is never handed out — it stays pristine so
+// concurrent takes can fork from it safely.
+func (e *preparedEntry) take(col *obs.Collector) (*sim.System, error) {
+	e.poolMu.Lock()
+	var sys *sim.System
+	if n := len(e.pool); n > 0 {
+		sys = e.pool[n-1]
+		e.pool = e.pool[:n-1]
+	}
+	e.poolMu.Unlock()
+	col.WarmBaseFork()
+	if sys == nil {
+		return e.p.base.ForkAt(e.p.cp)
+	}
+	if err := sys.Restore(e.p.cp); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// put returns a measured system to the entry's pool for reuse. Whatever
+// state the measurement left behind is irrelevant: the next take restores
+// the warm checkpoint into it wholesale.
+func (e *preparedEntry) put(sys *sim.System) {
+	e.poolMu.Lock()
+	if len(e.pool) < e.poolN {
+		e.pool = append(e.pool, sys)
+	}
+	e.poolMu.Unlock()
+}

@@ -49,6 +49,9 @@ func (r *Runner) Repeatability(mix workload.Mix, scheme string, seeds int) (*Rep
 	values := make(map[metrics.Objective][]float64, 4)
 	results := make([]*MixRun, seeds)
 	err := r.runBatch(seeds, func(i int) error {
+		// Each per-seed runner inherits the parent's result cache via the
+		// config copy; distinct seeds fingerprint distinctly, so nothing
+		// collides, and a repeated study over the same seeds is all hits.
 		cfg := r.cfg
 		cfg.Seed = subSeed(r.cfg.Seed, i)
 		sub, err := NewRunner(cfg)

@@ -21,10 +21,14 @@ func benchSweepConfig() Config {
 }
 
 // benchSweepRunner builds a runner with the alone cache pre-warmed, so both
-// sweep variants measure only the per-cell simulation work.
-func benchSweepRunner(b *testing.B) (*Runner, workload.Mix, []string) {
+// sweep variants measure only the per-cell simulation work. The cold arm
+// disables memoization: with the result cache on, every iteration past the
+// first would be a free cache hit and the pair would measure nothing.
+func benchSweepRunner(b *testing.B, memoize bool) (*Runner, workload.Mix, []string) {
 	b.Helper()
-	r, err := NewRunner(benchSweepConfig())
+	cfg := benchSweepConfig()
+	cfg.NoMemoize = !memoize
+	r, err := NewRunner(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -45,7 +49,7 @@ func benchSweepRunner(b *testing.B) (*Runner, workload.Mix, []string) {
 // per cell). benchjson derives sweep_fork_speedup from the pair.
 func BenchmarkSweep(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
-		r, mix, schemes := benchSweepRunner(b)
+		r, mix, schemes := benchSweepRunner(b, false)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, scheme := range schemes {
@@ -56,7 +60,7 @@ func BenchmarkSweep(b *testing.B) {
 		}
 	})
 	b.Run("forked", func(b *testing.B) {
-		r, mix, schemes := benchSweepRunner(b)
+		r, mix, schemes := benchSweepRunner(b, false)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p, err := r.prepareMix(mix)

@@ -43,6 +43,12 @@ type Collector struct {
 	queueSamples int64
 	queueSum     int64
 	queueMax     int
+
+	cellHits       int64
+	cellMisses     int64
+	cellCoalesced  int64
+	warmForks      int64
+	preparedEvicts int64
 }
 
 type stageAgg struct {
@@ -122,6 +128,62 @@ func (c *Collector) StageStart(name string) func() {
 	}
 }
 
+// CellCacheHit records one result-cache request served from a finished cell.
+func (c *Collector) CellCacheHit() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cellHits++
+	c.mu.Unlock()
+}
+
+// CellCacheMiss records one result-cache request that became the leader of
+// a new simulation (the cell's one real execution).
+func (c *Collector) CellCacheMiss() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cellMisses++
+	c.mu.Unlock()
+}
+
+// CellCacheCoalesced records one request that joined an in-flight
+// simulation of the same cell instead of starting its own (single-flight
+// deduplication).
+func (c *Collector) CellCacheCoalesced() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cellCoalesced++
+	c.mu.Unlock()
+}
+
+// WarmBaseFork records one measurement positioned on a warm prepared base
+// (a fresh fork or a pooled system restored in place) instead of paying a
+// full functional warmup.
+func (c *Collector) WarmBaseFork() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.warmForks++
+	c.mu.Unlock()
+}
+
+// PreparedEvicted records one warm base dropped by the prepared-mix LRU
+// bound (its next use re-warms).
+func (c *Collector) PreparedEvicted() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.preparedEvicts++
+	c.mu.Unlock()
+}
+
 // RecordQueueDepth folds one memory-controller queue-depth observation (the
 // total across per-app queues) into the running min/max/mean statistics.
 func (c *Collector) RecordQueueDepth(depth int) {
@@ -196,6 +258,18 @@ type QueueStats struct {
 	Max     int     `json:"max"`
 }
 
+// CacheStats summarizes the experiment engine's result-cache and warm-base
+// activity: how many cell requests were deduplicated (hits + coalesced vs
+// misses, which are the simulations actually run) and how many measurements
+// forked from a warm base instead of re-warming.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	WarmForks int64 `json:"warm_forks"`
+	Evictions int64 `json:"evictions"`
+}
+
 // Snapshot is a point-in-time copy of every collected statistic, ordered
 // deterministically (stages sorted by name) for stable JSON output.
 type Snapshot struct {
@@ -203,6 +277,7 @@ type Snapshot struct {
 	Jobs           JobCounters `json:"jobs"`
 	Stages         []StageStat `json:"stages"`
 	Queue          QueueStats  `json:"queue"`
+	Cache          CacheStats  `json:"cell_cache"`
 }
 
 // Snapshot returns a consistent copy of the current counters. A nil
@@ -221,6 +296,13 @@ func (c *Collector) Snapshot() Snapshot {
 			Failed:   c.jobsFailed,
 		},
 		Queue: QueueStats{Samples: c.queueSamples, Max: c.queueMax},
+		Cache: CacheStats{
+			Hits:      c.cellHits,
+			Misses:    c.cellMisses,
+			Coalesced: c.cellCoalesced,
+			WarmForks: c.warmForks,
+			Evictions: c.preparedEvicts,
+		},
 	}
 	if !c.started.IsZero() {
 		s.ElapsedSeconds = time.Since(c.started).Seconds()
@@ -248,6 +330,15 @@ func (s Snapshot) Line() string {
 	}
 	if s.Queue.Samples > 0 {
 		out += fmt.Sprintf(" | queue mean %.1f max %d", s.Queue.Mean, s.Queue.Max)
+	}
+	if cs := s.Cache; cs.Hits+cs.Misses+cs.Coalesced > 0 {
+		out += fmt.Sprintf(" | cells %dh/%dm/%dc", cs.Hits, cs.Misses, cs.Coalesced)
+		if cs.WarmForks > 0 {
+			out += fmt.Sprintf(" forks %d", cs.WarmForks)
+		}
+		if cs.Evictions > 0 {
+			out += fmt.Sprintf(" evict %d", cs.Evictions)
+		}
 	}
 	out += fmt.Sprintf(" | %.1fs", s.ElapsedSeconds)
 	return out

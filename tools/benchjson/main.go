@@ -43,12 +43,15 @@ var runLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) n
 // metricField matches one trailing "value unit" metric pair.
 var metricField = regexp.MustCompile(`([\d.]+) ([^\s]+)`)
 
-// Run is one benchmark execution (one line of -count output).
+// Run is one benchmark execution (one line of -count output). Custom
+// metrics a benchmark reports via b.ReportMetric (anything besides the
+// standard B/op and allocs/op fields) land in Metrics keyed by unit.
 type Run struct {
-	Iterations  int64    `json:"iterations"`
-	NsPerOp     float64  `json:"ns_per_op"`
-	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Bench aggregates every run of one benchmark name.
@@ -250,6 +253,11 @@ func parse(r io.Reader) (*Report, error) {
 				run.BytesPerOp = ptr(v)
 			case "allocs/op":
 				run.AllocsPerOp = ptr(v)
+			default:
+				if run.Metrics == nil {
+					run.Metrics = map[string]float64{}
+				}
+				run.Metrics[f[2]] = v
 			}
 		}
 		b := byName[m[1]]
@@ -278,8 +286,9 @@ func parse(r io.Reader) (*Report, error) {
 }
 
 // derive computes the acceptance figures when the relevant benchmarks are
-// present: naive/skip speedups for the System.Run mixes and the event-queue
-// allocation count.
+// present: naive/skip speedups for the System.Run mixes, the event-queue
+// allocation count, the sweep fork and figure-suite memoization speedups,
+// and the memoized figure pass's unique-vs-requested cell counts.
 func derive(rep *Report, byName map[string]*Bench) {
 	speedup := func(key, naive, skip string) {
 		n, s := byName[naive], byName[skip]
@@ -291,6 +300,22 @@ func derive(rep *Report, byName map[string]*Bench) {
 	speedup("idle_speedup", "BenchmarkRunIdle/naive", "BenchmarkRunIdle/skip")
 	speedup("saturated_speedup", "BenchmarkRunSaturated/naive", "BenchmarkRunSaturated/skip")
 	speedup("sweep_fork_speedup", "BenchmarkSweep/cold", "BenchmarkSweep/forked")
+	speedup("figures_dedup_speedup", "BenchmarkFigureSuite/cold", "BenchmarkFigureSuite/memoized")
+	if m := byName["BenchmarkFigureSuite/memoized"]; m != nil {
+		// The cell counts are deterministic across runs; take the worst so a
+		// nondeterministic regression can only look worse, never hide.
+		for _, r := range m.Runs {
+			for unit, v := range r.Metrics {
+				switch unit {
+				case "unique_cells", "requested_cells":
+					key := "figures_" + unit
+					if v > rep.Derived[key] {
+						rep.Derived[key] = v
+					}
+				}
+			}
+		}
+	}
 	if q := byName["BenchmarkQueueSchedule"]; q != nil {
 		worst := 0.0
 		for _, r := range q.Runs {

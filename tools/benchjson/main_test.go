@@ -49,6 +49,39 @@ func TestParseDerivesSpeedups(t *testing.T) {
 	}
 }
 
+const figureSample = `goos: linux
+pkg: bwpart/internal/exper
+BenchmarkFigureSuite/cold-2        	       1	13401611357 ns/op	113238280 B/op	   78424 allocs/op
+BenchmarkFigureSuite/memoized-2    	       1	4614120133 ns/op	       106.0 requested_cells	       100.0 unique_cells	29785544 B/op	   30540 allocs/op
+BenchmarkFigureSuite/memoized-2    	       1	4700000000 ns/op	       106.0 requested_cells	       100.0 unique_cells	29785544 B/op	   30540 allocs/op
+PASS
+`
+
+func TestParseDerivesFigureDedup(t *testing.T) {
+	rep, err := parse(strings.NewReader(figureSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedup := rep.Derived["figures_dedup_speedup"]
+	if want := 13401611357.0 / 4614120133.0; dedup < want-1e-9 || dedup > want+1e-9 {
+		t.Errorf("figures_dedup_speedup = %v, want %v", dedup, want)
+	}
+	if got := rep.Derived["figures_unique_cells"]; got != 100 {
+		t.Errorf("figures_unique_cells = %v, want 100", got)
+	}
+	if got := rep.Derived["figures_requested_cells"]; got != 106 {
+		t.Errorf("figures_requested_cells = %v, want 106", got)
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Name != "BenchmarkFigureSuite/memoized" {
+			continue
+		}
+		if got := b.Runs[0].Metrics["unique_cells"]; got != 100 {
+			t.Errorf("run metric unique_cells = %v, want 100", got)
+		}
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("expected error on input with no benchmark lines")
