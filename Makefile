@@ -1,10 +1,11 @@
 # Development targets. `make check` is the PR gate: vet, build, the full
 # test suite, a race-detector pass over the concurrent packages (the
-# experiment engine, its observability collector, and the memory
-# controller — including the indexed issue path and its differential
-# tests), and a compile of every benchmark. `make bench` refreshes the
-# committed benchmark reports (BENCH_kernel.json, BENCH_memctrl.json,
-# BENCH_sweep.json);
+# experiment engine, its observability collector, the serving layer, and
+# the memory controller — including the indexed issue path and its
+# differential tests), a server smoke test over a real TCP listener, and a
+# compile of every benchmark. `make bench` refreshes the committed
+# benchmark reports (BENCH_kernel.json, BENCH_memctrl.json,
+# BENCH_sweep.json, BENCH_serve.json);
 # `make bench-check` re-runs the benchmarks and fails if any regressed
 # beyond the tolerance against those committed reports — run it alongside
 # `make check` before sending a performance-sensitive PR.
@@ -28,9 +29,9 @@ BENCH_GOMAXPROCS ?= 2
 BENCH_COUNT ?= 3
 BENCH_ENV = GOMAXPROCS=$(BENCH_GOMAXPROCS)
 
-.PHONY: check vet build test race benchbuild bench bench-check
+.PHONY: check vet build test race smoke benchbuild bench bench-check
 
-check: vet build test race benchbuild
+check: vet build test race smoke benchbuild
 
 vet:
 	$(GO) vet ./...
@@ -42,7 +43,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/exper/... ./internal/obs/... ./internal/memctrl/...
+	$(GO) test -race ./internal/exper/... ./internal/obs/... ./internal/memctrl/... ./internal/serve/...
+
+# smoke boots the daemon on an ephemeral port through the real serving path
+# (TCP listener, health check, one mix request, drain on cancel).
+smoke:
+	$(GO) test -run TestServeSmoke -count 1 ./internal/serve
 
 # benchbuild compiles and link-checks every benchmark without running any
 # (the -run pattern matches no tests, -benchtime 1x keeps it cheap if a
@@ -62,16 +68,19 @@ bench:
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -o BENCH_memctrl.json
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkFigureSuite' -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -o BENCH_sweep.json
-	@rm -f bench.out bench_memctrl.out bench_sweep.out
-	@cat BENCH_kernel.json BENCH_memctrl.json BENCH_sweep.json
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkServe -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/serve > bench_serve.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_serve.out -o BENCH_serve.json
+	@rm -f bench.out bench_memctrl.out bench_sweep.out bench_serve.out
+	@cat BENCH_kernel.json BENCH_memctrl.json BENCH_sweep.json BENCH_serve.json
 
-# bench-check is the performance regression gate: re-run all three benchmark
+# bench-check is the performance regression gate: re-run all four benchmark
 # suites and compare each result against the committed reports, failing on
 # any slowdown beyond BENCH_TOLERANCE percent (improvements always pass).
 # Derived figures are gated too: speedups (idle_speedup, saturated_speedup,
-# sweep_fork_speedup, figures_dedup_speedup) fail when they shrink beyond
-# the tolerance, counters (event_queue_allocs_per_op, figures_unique_cells,
-# figures_requested_cells) when they grow.
+# sweep_fork_speedup, figures_dedup_speedup, serve_warm_speedup) and request
+# rates (serve_warm_reqs_per_sec, serve_concurrent_reqs_per_sec) fail when
+# they shrink beyond the tolerance, counters (event_queue_allocs_per_op,
+# figures_unique_cells, figures_requested_cells) when they grow.
 bench-check:
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/sim ./internal/event > bench.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench.out -against BENCH_kernel.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
@@ -79,4 +88,6 @@ bench-check:
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_memctrl.out -against BENCH_memctrl.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
 	$(BENCH_ENV) $(GO) test -run '^$$' -bench 'BenchmarkSweep|BenchmarkFigureSuite' -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/exper > bench_sweep.out
 	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_sweep.out -against BENCH_sweep.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
-	@rm -f bench.out bench_memctrl.out bench_sweep.out
+	$(BENCH_ENV) $(GO) test -run '^$$' -bench BenchmarkServe -benchmem -benchtime 1x -count $(BENCH_COUNT) ./internal/serve > bench_serve.out
+	$(BENCH_ENV) $(GO) run ./tools/benchjson -i bench_serve.out -against BENCH_serve.json -tolerance $(BENCH_TOLERANCE) -o /dev/null
+	@rm -f bench.out bench_memctrl.out bench_sweep.out bench_serve.out

@@ -37,6 +37,7 @@ import (
 	"bwpart/internal/memctrl"
 	"bwpart/internal/metrics"
 	"bwpart/internal/obs"
+	"bwpart/internal/serve"
 	"bwpart/internal/sim"
 	"bwpart/internal/trace"
 	"bwpart/internal/workload"
@@ -144,6 +145,23 @@ type (
 
 // NewRunObserver builds an observer whose elapsed clock starts now.
 func NewRunObserver() *RunObserver { return obs.NewCollector() }
+
+// Serving layer: the experiment engine as a long-lived HTTP/JSON service
+// with a bounded, client-fair job queue in front of one process-wide set
+// of runners (shared result cache, warm bases, checkpoint tier).
+type (
+	// Server is a resident simulation service (see cmd/sweepd and the
+	// sweep -serve flag).
+	Server = serve.Server
+	// ServerOptions configures NewServer (experiment config, worker count,
+	// queue depth, cache budget).
+	ServerOptions = serve.Options
+	// JobSnapshot is the wire state of one server job.
+	JobSnapshot = serve.JobSnapshot
+)
+
+// NewServer builds a serving stack and starts its worker pool.
+func NewServer(opts ServerOptions) (*Server, error) { return serve.New(opts) }
 
 // ParallelismEnv is the environment variable that overrides the experiment
 // engine's default worker count (ExperimentConfig.Parallelism wins).

@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 	"time"
 
 	"bwpart"
@@ -69,6 +72,12 @@ func main() {
 		out = io.MultiWriter(os.Stdout, f)
 	}
 
+	// Ctrl-C / SIGTERM cancel the experiment fan-outs between simulations;
+	// the interrupted run still writes its report so far, the statistics,
+	// and the profiles on the way out. A second signal kills immediately.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	cfg := bwpart.DefaultExperiments()
 	if *quick {
 		cfg = bwpart.QuickExperiments()
@@ -77,6 +86,7 @@ func main() {
 	cfg.Parallelism = *parallel
 	cfg.Sim.Kernel = kernel
 	cfg.NoMemoize = !*memoize
+	cfg.BaseContext = ctx
 	if *checkpointDir != "" {
 		cfg.Checkpoint, err = bwpart.NewCheckpointStore(*checkpointDir)
 		if err != nil {

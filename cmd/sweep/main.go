@@ -4,11 +4,18 @@
 // fanned out across the experiment engine's worker pool; rows are emitted
 // in deterministic grid order regardless of scheduling.
 //
+// With -serve the command instead becomes a long-lived daemon exposing the
+// engine over HTTP (see internal/serve and cmd/sweepd): requests share one
+// resident result cache and warm-base registry, so repeated cells across
+// clients are simulated once. SIGINT/SIGTERM drain: accepted jobs finish,
+// new ones are refused, then the process exits.
+//
 // Usage:
 //
 //	sweep -mixes hetero-1,hetero-5 -schemes equal,square-root -scales 1,2 > results.csv
 //	sweep -mixes "hetero-1, hetero-2" -schemes equal,square-root \
 //	      -progress -stats-json stats.json > results.csv
+//	sweep -serve :8080 -checkpoint-dir /var/lib/bwpart -cache-mb 256
 package main
 
 import (
@@ -18,9 +25,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"bwpart"
@@ -48,12 +58,25 @@ func main() {
 		"persist finished sweep cells to this directory and resume an interrupted sweep from them")
 	memoize := flag.Bool("memoize", true,
 		"memoize (config, mix, scheme) cells in memory: repeated cells are simulated once per process")
+	cacheMB := flag.Int("cache-mb", 0,
+		"bound the in-memory result cache to this many MiB, evicting LRU cells (0 = unbounded; -serve defaults to 256)")
+	serveAddr := flag.String("serve", "",
+		"run as a daemon serving the experiment engine over HTTP on this address (e.g. :8080) instead of sweeping")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
+		"with -serve: how long a SIGTERM drain may wait for accepted jobs before cancelling them")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Ctrl-C / SIGTERM cancel in-flight work: the sweep stops between
+	// simulations and still flushes CSV, stats, and profiles; the server
+	// drains. A second signal kills the process immediately (stop restores
+	// default delivery).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	prof, err := pprofutil.Start(*cpuProfile, *memProfile, *tracePath)
 	if err != nil {
@@ -63,6 +86,52 @@ func main() {
 	// these wrappers to flush the profiles first.
 	fatal := func(v ...any) { prof.Stop(); log.Fatal(v...) }
 	fatalf := func(format string, args ...any) { prof.Stop(); log.Fatalf(format, args...) }
+
+	if *serveAddr != "" {
+		cfg := bwpart.DefaultExperiments()
+		if *quick {
+			cfg = bwpart.QuickExperiments()
+		}
+		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
+		cfg.NoMemoize = !*memoize
+		cfg.Sim.Kernel = kernel
+		if *checkpointDir != "" {
+			cfg.Checkpoint, err = bwpart.NewCheckpointStore(*checkpointDir)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		col := bwpart.NewRunObserver()
+		if *progress {
+			ticker := col.StartTicker(os.Stderr, time.Second)
+			defer ticker.Stop()
+		}
+		opts := bwpart.ServerOptions{Exper: cfg, Obs: col}
+		if *cacheMB > 0 {
+			opts.CacheBytes = int64(*cacheMB) << 20
+		}
+		srv, err := bwpart.NewServer(opts)
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("serving on http://%s (SIGINT/SIGTERM drains)", ln.Addr())
+		runErr := srv.Run(ctx, ln, *drainTimeout)
+		if err := writeStats(*statsJSON, col); err != nil {
+			log.Print(err)
+		}
+		if runErr != nil {
+			fatal(runErr)
+		}
+		if err := prof.Stop(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	scales, err := parseFloats(*scalesFlag)
 	if err != nil {
@@ -116,6 +185,7 @@ func main() {
 		cfg.Obs = col
 		cfg.Checkpoint = store
 		cfg.Cache = cache
+		cfg.CacheBytes = int64(*cacheMB) << 20
 		cfg.NoMemoize = !*memoize
 		cfg.Sim.Kernel = kernel
 		cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
@@ -124,8 +194,11 @@ func main() {
 			fatal(err)
 		}
 		gbs := cfg.Sim.DRAM.PeakBandwidthGBs()
-		runs, err := runner.RunGrid(context.Background(), mixes, schemes)
+		runs, err := runner.RunGrid(ctx, mixes, schemes)
 		if err != nil {
+			// Interrupted or failed mid-sweep: flush what's already written
+			// (completed scales) and the statistics before exiting.
+			w.Flush()
 			if serr := writeStats(*statsJSON, col); serr != nil {
 				log.Print(serr)
 			}

@@ -1,0 +1,81 @@
+// Command sweepd is the simulation daemon: the experiment engine behind an
+// HTTP/JSON API (see internal/serve). It is the standing-service twin of
+// `sweep -serve` with server-oriented defaults — a bounded result cache and
+// a checkpoint directory are expected, so repeated cells are answered from
+// memory or disk instead of re-simulated, across clients and restarts.
+//
+//	sweepd -addr :8080 -checkpoint-dir /var/lib/bwpart
+//	curl -s localhost:8080/v1/mix -d '{"mix":"hetero-1","scheme":"equal"}'
+//
+// SIGINT/SIGTERM drain: admission closes (503), accepted jobs finish, the
+// process exits cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bwpart"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweepd: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", true, "use reduced simulation windows")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations per job (0 = $BWPART_PARALLELISM or GOMAXPROCS)")
+	kernelName := flag.String("kernel", "skip", "simulation kernel: skip (cycle-skipping) or naive")
+	checkpointDir := flag.String("checkpoint-dir", "",
+		"persist finished cells to this directory; a restarted daemon serves them from disk")
+	cacheMB := flag.Int("cache-mb", 256, "in-memory result cache budget in MiB (LRU-evicted beyond it)")
+	workers := flag.Int("workers", 0, "concurrent jobs (0 = server default)")
+	maxQueue := flag.Int("max-queue", 0, "queued-job bound before 429s (0 = server default)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
+		"how long a shutdown drain may wait for accepted jobs before cancelling them")
+	flag.Parse()
+
+	kernel, err := bwpart.KernelByName(*kernelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := bwpart.DefaultExperiments()
+	if *quick {
+		cfg = bwpart.QuickExperiments()
+	}
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
+	cfg.Sim.Kernel = kernel
+	if *checkpointDir != "" {
+		cfg.Checkpoint, err = bwpart.NewCheckpointStore(*checkpointDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv, err := bwpart.NewServer(bwpart.ServerOptions{
+		Exper:      cfg,
+		Workers:    *workers,
+		MaxQueue:   *maxQueue,
+		CacheBytes: int64(*cacheMB) << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving on http://%s (SIGINT/SIGTERM drains)", ln.Addr())
+	if err := srv.Run(ctx, ln, *drainTimeout); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("drained, exiting")
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"maps"
 	"sync"
+	"unsafe"
 
 	"bwpart/internal/obs"
 	"bwpart/internal/sim"
@@ -17,24 +18,48 @@ import (
 // bandwidth scale of a sweep); cells from different configurations never
 // collide because the fingerprint is part of the key.
 //
+// The cache is byte-accounted: SetMaxBytes (or Config.CacheBytes through
+// NewRunner) bounds the resident size of finished cells, and inserting past
+// the bound evicts least-recently-used finished cells. Eviction only removes
+// cells from the map — callers already waiting on an evicted flight still
+// complete normally — so a bounded cache stays safe at service lifetimes
+// where the set of distinct cells grows without limit. An evicted cell's
+// next request is an ordinary miss (re-simulated, or served by the
+// persistent checkpoint tier when one is configured).
+//
 // Errors are not cached: a failed flight is removed so a later request
 // retries, and every caller that joined the flight observes the error.
 type ResultCache struct {
-	mu    sync.Mutex
-	cells map[string]*cellFlight
+	mu       sync.Mutex
+	cells    map[string]*cellFlight
+	maxBytes int64 // 0 = unbounded
+	curBytes int64 // total bytes of finished cells resident in the map
+	clock    int64 // logical LRU clock, bumped per touch
 }
 
 // cellFlight is one in-flight or finished cell. done is closed exactly once,
-// after run/err are final.
+// after run/err are final. bytes and lastUse are owned by the cache's mutex.
 type cellFlight struct {
-	done chan struct{}
-	run  *MixRun // immutable master copy; nil iff err != nil
-	err  error
+	done    chan struct{}
+	run     *MixRun // immutable master copy; nil iff err != nil
+	err     error
+	bytes   int64 // accounted size once finished; 0 while in flight
+	lastUse int64 // cache clock at last lookup or insert
 }
 
-// NewResultCache returns an empty cache.
+// NewResultCache returns an empty, unbounded cache.
 func NewResultCache() *ResultCache {
 	return &ResultCache{cells: make(map[string]*cellFlight)}
+}
+
+// SetMaxBytes bounds the resident bytes of finished cells (0 = unbounded).
+// Shrinking the bound evicts immediately. Safe to call on a cache already
+// shared across runners.
+func (c *ResultCache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	c.maxBytes = n
+	c.evictLocked(nil)
+	c.mu.Unlock()
 }
 
 // Len reports how many finished cells the cache holds (in-flight cells
@@ -45,6 +70,13 @@ func (c *ResultCache) Len() int {
 	return len(c.cells)
 }
 
+// Bytes reports the accounted resident size of finished cells.
+func (c *ResultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.curBytes
+}
+
 // Do returns the memoized cell for key, invoking fn at most once per key
 // across all concurrent callers. The leader's fn result is deep-copied into
 // the cache; hits and coalesced waiters get fresh deep copies. Counters:
@@ -53,6 +85,8 @@ func (c *ResultCache) Len() int {
 func (c *ResultCache) Do(key string, col *obs.Collector, fn func() (*MixRun, error)) (*MixRun, error) {
 	c.mu.Lock()
 	if f, ok := c.cells[key]; ok {
+		c.clock++
+		f.lastUse = c.clock
 		select {
 		case <-f.done:
 			col.CellCacheHit()
@@ -66,7 +100,8 @@ func (c *ResultCache) Do(key string, col *obs.Collector, fn func() (*MixRun, err
 		}
 		return copyMixRun(f.run), nil
 	}
-	f := &cellFlight{done: make(chan struct{})}
+	c.clock++
+	f := &cellFlight{done: make(chan struct{}), lastUse: c.clock}
 	c.cells[key] = f
 	c.mu.Unlock()
 	col.CellCacheMiss()
@@ -95,11 +130,53 @@ func (c *ResultCache) Do(key string, col *obs.Collector, fn func() (*MixRun, err
 		return nil, err
 	}
 	f.run = run
+	f.bytes = mixRunBytes(run)
 	close(f.done)
+	// Account after publishing: the freshly finished cell is itself
+	// evictable, so the bound is strict — a single cell larger than the
+	// whole budget is dropped immediately rather than pinned forever.
+	c.mu.Lock()
+	c.curBytes += f.bytes
+	c.evictLocked(col)
+	col.SetCellCacheBytes(c.curBytes)
+	c.mu.Unlock()
 	// The leader gets a deep copy too: fn's result becomes the cache's
 	// master and is never handed out, so no caller — leader included —
 	// holds memory any other caller (or the cache) can see.
 	return copyMixRun(run), nil
+}
+
+// evictLocked drops least-recently-used finished cells until the account
+// fits the bound. In-flight cells are never evicted (their bytes are not
+// yet accounted, and waiters hold the flight pointer anyway — removal from
+// the map never disturbs a waiter, it only makes the next lookup a miss).
+func (c *ResultCache) evictLocked(col *obs.Collector) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.curBytes > c.maxBytes {
+		var victimKey string
+		var victim *cellFlight
+		for key, f := range c.cells {
+			select {
+			case <-f.done:
+			default:
+				continue // in flight
+			}
+			if f.err != nil {
+				continue // being removed by its leader
+			}
+			if victim == nil || f.lastUse < victim.lastUse {
+				victim, victimKey = f, key
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.cells, victimKey)
+		c.curBytes -= victim.bytes
+		col.CellEvicted()
+	}
 }
 
 // copyMixRun deep-copies a MixRun. Every field is plain data (slices of
@@ -114,4 +191,27 @@ func copyMixRun(run *MixRun) *MixRun {
 	cp.Result.Apps = append([]sim.AppResult(nil), run.Result.Apps...)
 	cp.Values = maps.Clone(run.Values)
 	return &cp
+}
+
+// mixRunBytes estimates the heap footprint of one cached MixRun: the struct
+// itself plus every slice's backing array, every string's bytes, and the
+// objective map's entries. An estimate is enough — the bound exists to keep
+// a long-lived service's memory proportional to the configured budget, not
+// to account the allocator exactly.
+func mixRunBytes(run *MixRun) int64 {
+	size := int64(unsafe.Sizeof(*run))
+	size += int64(len(run.Mix.Name)) + int64(len(run.Scheme))
+	for _, b := range run.Mix.Benchmarks {
+		size += int64(unsafe.Sizeof(b)) + int64(len(b))
+	}
+	size += int64(len(run.IPCAlone)+len(run.APCAlone)+len(run.API)) * 8
+	for i := range run.Result.Apps {
+		a := &run.Result.Apps[i]
+		size += int64(unsafe.Sizeof(*a)) + int64(len(a.Name))
+	}
+	size += int64(len(run.Result.EnergyError))
+	// Map entries: key + value + bucket overhead (~16 bytes each is close
+	// enough for a 4-entry map of scalar pairs).
+	size += int64(len(run.Values)) * 32
+	return size
 }

@@ -1,0 +1,146 @@
+package exper
+
+import (
+	"reflect"
+	"testing"
+
+	"bwpart/internal/obs"
+	"bwpart/internal/workload"
+)
+
+// TestResultCacheByteAccounting pins the byte account of an unbounded
+// cache: every finished cell adds its estimated footprint, and the gauge
+// the collector sees matches the cache's own account.
+func TestResultCacheByteAccounting(t *testing.T) {
+	cfg := memoTestConfig()
+	cfg.Obs = obs.NewCollector()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.MixByName("hetero-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"equal", "square-root"} {
+		if _, err := r.RunMix(mix, scheme); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := r.Config().Cache
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d cells, want 2", cache.Len())
+	}
+	if cache.Bytes() <= 0 {
+		t.Fatalf("cache bytes = %d, want > 0", cache.Bytes())
+	}
+	s := cfg.Obs.Snapshot()
+	if s.Cache.Bytes != cache.Bytes() {
+		t.Fatalf("collector gauge %d != cache account %d", s.Cache.Bytes, cache.Bytes())
+	}
+	if s.Cache.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted %d cells", s.Cache.Evictions)
+	}
+}
+
+// TestResultCacheLRUBound squeezes the cache to roughly one cell: inserting
+// a second cell evicts the least-recently-used one, the evicted cell's next
+// request is a fresh miss (re-simulated), and every result — before and
+// after eviction — stays DeepEqual to a cold reference run.
+func TestResultCacheLRUBound(t *testing.T) {
+	cfg := memoTestConfig()
+	cfg.Obs = obs.NewCollector()
+	probe, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.MixByName("hetero-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size the bound off a real cell so the test tracks MixRun's shape:
+	// room for one cell plus slack, never two.
+	first, err := probe.RunMix(mix, "equal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneCell := mixRunBytes(first)
+
+	cfg2 := memoTestConfig()
+	cfg2.Obs = obs.NewCollector()
+	cfg2.CacheBytes = oneCell + oneCell/2
+	r, err := NewRunner(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coldCfg := memoTestConfig()
+	coldCfg.NoMemoize = true
+	cold, err := NewRunner(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps := []string{"equal", "square-root", "equal"}
+	for i, scheme := range steps {
+		got, err := r.RunMix(mix, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := cold.RunMix(mix, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("step %d (%s): bounded-cache cell diverges from cold run", i, scheme)
+		}
+	}
+	s := cfg2.Obs.Snapshot()
+	// equal inserted; square-root inserted evicting equal; equal again is a
+	// fresh miss evicting square-root: 3 misses, 0 hits, 2 evictions.
+	if s.Cache.Misses != 3 || s.Cache.Hits != 0 {
+		t.Errorf("misses/hits = %d/%d, want 3/0 (eviction should force a re-simulation)", s.Cache.Misses, s.Cache.Hits)
+	}
+	if s.Cache.Evictions != 2 {
+		t.Errorf("recorded %d evictions, want 2", s.Cache.Evictions)
+	}
+	if got, bound := r.Config().Cache.Bytes(), cfg2.CacheBytes; got > bound {
+		t.Errorf("resident bytes %d exceed bound %d", got, bound)
+	}
+	if s.Cache.Bytes > cfg2.CacheBytes {
+		t.Errorf("gauge %d exceeds bound %d", s.Cache.Bytes, cfg2.CacheBytes)
+	}
+}
+
+// TestResultCacheSetMaxBytesShrink shrinks a populated cache's bound in
+// place (the service applies Config.CacheBytes to a shared cache) and
+// expects immediate eviction down to the new budget.
+func TestResultCacheSetMaxBytesShrink(t *testing.T) {
+	cfg := memoTestConfig()
+	cfg.Obs = obs.NewCollector()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.MixByName("hetero-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"equal", "square-root", "priority-apc"} {
+		if _, err := r.RunMix(mix, scheme); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := r.Config().Cache
+	if cache.Len() != 3 {
+		t.Fatalf("cache holds %d cells, want 3", cache.Len())
+	}
+	cache.SetMaxBytes(1) // smaller than any cell: everything must go
+	if cache.Len() != 0 || cache.Bytes() != 0 {
+		t.Fatalf("after shrink: %d cells, %d bytes, want 0/0", cache.Len(), cache.Bytes())
+	}
+	// The cache still works after a full purge.
+	if _, err := r.RunMix(mix, "equal"); err != nil {
+		t.Fatal(err)
+	}
+}

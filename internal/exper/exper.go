@@ -6,6 +6,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -58,6 +59,19 @@ type Config struct {
 	// cache (NewRunner fills this field, so sub-runners derived from
 	// Runner.Config() inherit it).
 	Cache *ResultCache
+	// CacheBytes bounds the resident size of the result cache: past the
+	// bound, least-recently-used finished cells are evicted (and their next
+	// request re-simulates, or loads from the checkpoint tier). 0 leaves
+	// the cache unbounded — fine for one-shot sweeps, not for a long-lived
+	// service. Applied to Cache (own or shared) by NewRunner.
+	CacheBytes int64
+	// BaseContext, when set, is the base context for experiment fan-outs
+	// that have no explicit context parameter (the figures, tables, and
+	// studies): cancelling it stops dispatch of not-yet-started simulations,
+	// so Ctrl-C interrupts a long figure pass between cells. Nil means
+	// context.Background(). RunGrid takes its context explicitly and
+	// ignores this field.
+	BaseContext context.Context
 	// NoMemoize disables the result cache and warm-base sharing entirely:
 	// every RunMix re-warms and re-simulates from scratch. This is the
 	// reference executor the differential tests compare against.
@@ -144,6 +158,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if !cfg.NoMemoize {
 		if cfg.Cache == nil {
 			cfg.Cache = NewResultCache()
+		}
+		if cfg.CacheBytes > 0 {
+			cfg.Cache.SetMaxBytes(cfg.CacheBytes)
 		}
 		capacity := cfg.PreparedCap
 		if capacity <= 0 {
@@ -425,6 +442,7 @@ func (r *Runner) cell(mix workload.Mix, scheme string) (*MixRun, error) {
 func (r *Runner) executeCell(mix workload.Mix, scheme string) (*MixRun, error) {
 	if r.cfg.Checkpoint != nil {
 		if run, ok := r.cfg.Checkpoint.Load(r, mix, scheme); ok {
+			r.cfg.Obs.CheckpointHit()
 			return run, nil
 		}
 	}

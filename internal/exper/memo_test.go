@@ -225,8 +225,8 @@ func TestPreparedLRUEvictionRewarms(t *testing.T) {
 	if got := stageCount(s, obs.StageWarmup); got != 3 {
 		t.Errorf("functional warmup ran %d times, want 3 (A, B, A re-warmed)", got)
 	}
-	if s.Cache.Evictions != 2 {
-		t.Errorf("recorded %d evictions, want 2", s.Cache.Evictions)
+	if s.Cache.PreparedEvictions != 2 {
+		t.Errorf("recorded %d prepared-base evictions, want 2", s.Cache.PreparedEvictions)
 	}
 }
 

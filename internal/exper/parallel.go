@@ -152,10 +152,20 @@ func runOne(i int, fn func(i int) error) (err error) {
 	return fn(i)
 }
 
+// baseCtx resolves the runner's base context for entry points without an
+// explicit context parameter (see Config.BaseContext).
+func (r *Runner) baseCtx() context.Context {
+	if r.cfg.BaseContext != nil {
+		return r.cfg.BaseContext
+	}
+	return context.Background()
+}
+
 // runBatch runs a batch under the runner's configured parallelism and
-// collector with no external cancellation.
+// collector. Config.BaseContext, when set, cancels dispatch of
+// not-yet-started jobs.
 func (r *Runner) runBatch(n int, fn func(i int) error) error {
-	return runJobs(context.Background(), r.parallelism(), r.cfg.Obs, n, fn)
+	return runJobs(r.baseCtx(), r.parallelism(), r.cfg.Obs, n, fn)
 }
 
 // GridCell names one (mix, scheme) point of a sweep grid.
@@ -197,6 +207,7 @@ func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []st
 	for i, cell := range cells {
 		if r.cfg.Checkpoint != nil {
 			if run, ok := r.cfg.Checkpoint.Load(r, cell.Mix, cell.Scheme); ok {
+				r.cfg.Obs.CheckpointHit()
 				results[i] = run
 				continue
 			}
@@ -293,7 +304,7 @@ func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []st
 func (r *Runner) Figure2Parallel() (*Figure2Result, error) {
 	mixes := workload.AllMixes()
 	schemes := append([]string{NoPartitioning}, Figure2Schemes()...)
-	results, err := r.RunGrid(context.Background(), mixes, schemes)
+	results, err := r.RunGrid(r.baseCtx(), mixes, schemes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,6 @@
 package exper
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -44,7 +43,7 @@ type ValidationResult struct {
 // the worker pool — and compares the model-predicted objective values with
 // the measured ones.
 func (r *Runner) ValidateModel(mixes []workload.Mix) (*ValidationResult, error) {
-	runs, err := r.RunGrid(context.Background(), mixes, Figure2Schemes())
+	runs, err := r.RunGrid(r.baseCtx(), mixes, Figure2Schemes())
 	if err != nil {
 		return nil, err
 	}

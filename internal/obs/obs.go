@@ -47,8 +47,15 @@ type Collector struct {
 	cellHits       int64
 	cellMisses     int64
 	cellCoalesced  int64
+	cellEvicts     int64
+	cellBytes      int64 // gauge: resident result-cache bytes
 	warmForks      int64
 	preparedEvicts int64
+	checkpointHits int64
+
+	reqAccepted   int64
+	reqRejected   int64
+	jobsCancelled int64
 }
 
 type stageAgg struct {
@@ -161,6 +168,71 @@ func (c *Collector) CellCacheCoalesced() {
 	c.mu.Unlock()
 }
 
+// CellEvicted records one finished cell dropped by the result cache's byte
+// bound (its next request re-simulates or falls through to the checkpoint
+// tier).
+func (c *Collector) CellEvicted() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cellEvicts++
+	c.mu.Unlock()
+}
+
+// SetCellCacheBytes updates the resident result-cache size gauge (the byte
+// account the cache's LRU bound is enforced against).
+func (c *Collector) SetCellCacheBytes(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.cellBytes = n
+	c.mu.Unlock()
+}
+
+// CheckpointHit records one cell served from the persistent checkpoint tier
+// instead of a fresh simulation.
+func (c *Collector) CheckpointHit() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.checkpointHits++
+	c.mu.Unlock()
+}
+
+// RequestAccepted records one service request admitted into the job queue.
+func (c *Collector) RequestAccepted() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.reqAccepted++
+	c.mu.Unlock()
+}
+
+// RequestRejected records one service request refused by admission control
+// (queue full or server draining).
+func (c *Collector) RequestRejected() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.reqRejected++
+	c.mu.Unlock()
+}
+
+// JobCancelled records one accepted job cancelled before completion.
+func (c *Collector) JobCancelled() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsCancelled++
+	c.mu.Unlock()
+}
+
 // WarmBaseFork records one measurement positioned on a warm prepared base
 // (a fresh fork or a pooled system restored in place) instead of paying a
 // full functional warmup.
@@ -260,24 +332,43 @@ type QueueStats struct {
 
 // CacheStats summarizes the experiment engine's result-cache and warm-base
 // activity: how many cell requests were deduplicated (hits + coalesced vs
-// misses, which are the simulations actually run) and how many measurements
-// forked from a warm base instead of re-warming.
+// misses, which are the simulations actually run), how many measurements
+// forked from a warm base instead of re-warming, the result cache's byte
+// account and evictions under its LRU bound, and how many cells the
+// persistent checkpoint tier served without simulating.
 type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	WarmForks int64 `json:"warm_forks"`
+	// Evictions counts finished cells dropped by the result cache's byte
+	// bound; Bytes is the current resident size of the cached cells.
 	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	// PreparedEvictions counts warm bases dropped by the prepared-mix LRU.
+	PreparedEvictions int64 `json:"prepared_evictions"`
+	// CheckpointHits counts cells loaded from the persistent tier.
+	CheckpointHits int64 `json:"checkpoint_hits"`
+}
+
+// AdmissionStats summarizes a serving front end's admission control:
+// requests admitted into the job queue, requests refused (queue full or
+// draining), and accepted jobs cancelled before completion.
+type AdmissionStats struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"`
+	Cancelled int64 `json:"cancelled"`
 }
 
 // Snapshot is a point-in-time copy of every collected statistic, ordered
 // deterministically (stages sorted by name) for stable JSON output.
 type Snapshot struct {
-	ElapsedSeconds float64     `json:"elapsed_seconds"`
-	Jobs           JobCounters `json:"jobs"`
-	Stages         []StageStat `json:"stages"`
-	Queue          QueueStats  `json:"queue"`
-	Cache          CacheStats  `json:"cell_cache"`
+	ElapsedSeconds float64        `json:"elapsed_seconds"`
+	Jobs           JobCounters    `json:"jobs"`
+	Stages         []StageStat    `json:"stages"`
+	Queue          QueueStats     `json:"queue"`
+	Cache          CacheStats     `json:"cell_cache"`
+	Admission      AdmissionStats `json:"admission"`
 }
 
 // Snapshot returns a consistent copy of the current counters. A nil
@@ -297,11 +388,19 @@ func (c *Collector) Snapshot() Snapshot {
 		},
 		Queue: QueueStats{Samples: c.queueSamples, Max: c.queueMax},
 		Cache: CacheStats{
-			Hits:      c.cellHits,
-			Misses:    c.cellMisses,
-			Coalesced: c.cellCoalesced,
-			WarmForks: c.warmForks,
-			Evictions: c.preparedEvicts,
+			Hits:              c.cellHits,
+			Misses:            c.cellMisses,
+			Coalesced:         c.cellCoalesced,
+			WarmForks:         c.warmForks,
+			Evictions:         c.cellEvicts,
+			Bytes:             c.cellBytes,
+			PreparedEvictions: c.preparedEvicts,
+			CheckpointHits:    c.checkpointHits,
+		},
+		Admission: AdmissionStats{
+			Accepted:  c.reqAccepted,
+			Rejected:  c.reqRejected,
+			Cancelled: c.jobsCancelled,
 		},
 	}
 	if !c.started.IsZero() {
@@ -339,9 +438,57 @@ func (s Snapshot) Line() string {
 		if cs.Evictions > 0 {
 			out += fmt.Sprintf(" evict %d", cs.Evictions)
 		}
+		if cs.PreparedEvictions > 0 {
+			out += fmt.Sprintf(" base-evict %d", cs.PreparedEvictions)
+		}
+		if cs.CheckpointHits > 0 {
+			out += fmt.Sprintf(" ckpt %d", cs.CheckpointHits)
+		}
 	}
 	out += fmt.Sprintf(" | %.1fs", s.ElapsedSeconds)
 	return out
+}
+
+// WriteProm renders the snapshot in the Prometheus text exposition format
+// (one `# TYPE` line plus a sample per metric, all under the bwpart_
+// namespace), for a service's GET /metrics endpoint. Counters that have
+// been monotonic since the collector was built are exported as counters;
+// point-in-time values (resident cache bytes, queue-depth aggregates) as
+// gauges. Returns the first write error, if any.
+func (s Snapshot) WriteProm(w io.Writer) error {
+	var err error
+	emit := func(name, typ, help string, v float64) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	}
+	emit("bwpart_elapsed_seconds", "gauge", "Seconds since the collector started.", s.ElapsedSeconds)
+	emit("bwpart_jobs_total", "counter", "Simulation jobs enqueued.", float64(s.Jobs.Total))
+	emit("bwpart_jobs_started_total", "counter", "Simulation jobs started.", float64(s.Jobs.Started))
+	emit("bwpart_jobs_finished_total", "counter", "Simulation jobs finished successfully.", float64(s.Jobs.Finished))
+	emit("bwpart_jobs_failed_total", "counter", "Simulation jobs failed.", float64(s.Jobs.Failed))
+	for _, st := range s.Stages {
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "bwpart_stage_seconds_total{stage=%q} %g\nbwpart_stage_count_total{stage=%q} %d\n",
+			st.Name, st.Seconds, st.Name, st.Count)
+	}
+	emit("bwpart_memctrl_queue_depth_mean", "gauge", "Mean sampled memory-controller queue depth.", s.Queue.Mean)
+	emit("bwpart_memctrl_queue_depth_max", "gauge", "Max sampled memory-controller queue depth.", float64(s.Queue.Max))
+	emit("bwpart_cell_cache_hits_total", "counter", "Result-cache hits on finished cells.", float64(s.Cache.Hits))
+	emit("bwpart_cell_cache_misses_total", "counter", "Result-cache misses (leader simulations).", float64(s.Cache.Misses))
+	emit("bwpart_cell_cache_coalesced_total", "counter", "Requests coalesced onto in-flight cells.", float64(s.Cache.Coalesced))
+	emit("bwpart_cell_cache_evictions_total", "counter", "Finished cells evicted by the byte bound.", float64(s.Cache.Evictions))
+	emit("bwpart_cell_cache_bytes", "gauge", "Resident bytes of cached cells.", float64(s.Cache.Bytes))
+	emit("bwpart_warm_forks_total", "counter", "Measurements forked from a warm prepared base.", float64(s.Cache.WarmForks))
+	emit("bwpart_prepared_evictions_total", "counter", "Warm bases evicted by the prepared-mix LRU.", float64(s.Cache.PreparedEvictions))
+	emit("bwpart_checkpoint_hits_total", "counter", "Cells served from the persistent checkpoint tier.", float64(s.Cache.CheckpointHits))
+	emit("bwpart_requests_accepted_total", "counter", "Service requests admitted into the job queue.", float64(s.Admission.Accepted))
+	emit("bwpart_requests_rejected_total", "counter", "Service requests refused by admission control.", float64(s.Admission.Rejected))
+	emit("bwpart_jobs_cancelled_total", "counter", "Accepted jobs cancelled before completion.", float64(s.Admission.Cancelled))
+	return err
 }
 
 // Ticker periodically renders progress lines to w until stopped.

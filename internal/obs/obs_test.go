@@ -135,3 +135,96 @@ func TestTickerEmitsFinalLine(t *testing.T) {
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestCacheAndAdmissionCounters(t *testing.T) {
+	c := NewCollector()
+	c.CellCacheHit()
+	c.CellCacheMiss()
+	c.CellCacheCoalesced()
+	c.CellEvicted()
+	c.CellEvicted()
+	c.SetCellCacheBytes(4096)
+	c.CheckpointHit()
+	c.WarmBaseFork()
+	c.PreparedEvicted()
+	c.RequestAccepted()
+	c.RequestAccepted()
+	c.RequestRejected()
+	c.JobCancelled()
+	s := c.Snapshot()
+	if s.Cache.Hits != 1 || s.Cache.Misses != 1 || s.Cache.Coalesced != 1 {
+		t.Fatalf("bad cell counters: %+v", s.Cache)
+	}
+	if s.Cache.Evictions != 2 || s.Cache.Bytes != 4096 {
+		t.Fatalf("bad eviction/bytes accounting: %+v", s.Cache)
+	}
+	if s.Cache.PreparedEvictions != 1 || s.Cache.CheckpointHits != 1 || s.Cache.WarmForks != 1 {
+		t.Fatalf("bad prepared/checkpoint counters: %+v", s.Cache)
+	}
+	if s.Admission != (AdmissionStats{Accepted: 2, Rejected: 1, Cancelled: 1}) {
+		t.Fatalf("bad admission counters: %+v", s.Admission)
+	}
+
+	// The bytes gauge overwrites rather than accumulates.
+	c.SetCellCacheBytes(128)
+	if got := c.Snapshot().Cache.Bytes; got != 128 {
+		t.Fatalf("bytes gauge = %d, want 128", got)
+	}
+
+	// Nil receivers stay no-ops for the new counters too.
+	var nilc *Collector
+	nilc.CellEvicted()
+	nilc.SetCellCacheBytes(1)
+	nilc.CheckpointHit()
+	nilc.RequestAccepted()
+	nilc.RequestRejected()
+	nilc.JobCancelled()
+}
+
+func TestWriteProm(t *testing.T) {
+	c := NewCollector()
+	c.AddTotal(3)
+	c.JobStarted()
+	c.JobFinished()
+	c.StageStart(StageMeasure)()
+	c.CellCacheMiss()
+	c.CellEvicted()
+	c.SetCellCacheBytes(2048)
+	c.CheckpointHit()
+	c.RequestAccepted()
+	c.RequestRejected()
+	var sb strings.Builder
+	if err := c.Snapshot().WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"bwpart_jobs_total 3",
+		"bwpart_jobs_finished_total 1",
+		`bwpart_stage_count_total{stage="measurement"} 1`,
+		"bwpart_cell_cache_misses_total 1",
+		"bwpart_cell_cache_evictions_total 1",
+		"bwpart_cell_cache_bytes 2048",
+		"bwpart_checkpoint_hits_total 1",
+		"bwpart_requests_accepted_total 1",
+		"bwpart_requests_rejected_total 1",
+		"# TYPE bwpart_cell_cache_bytes gauge",
+		"# TYPE bwpart_jobs_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A failing writer surfaces the error instead of silently truncating.
+	fail := writerFunc(func(p []byte) (int, error) { return 0, errShortWrite })
+	if err := c.Snapshot().WriteProm(fail); err == nil {
+		t.Fatal("WriteProm swallowed a write error")
+	}
+}
+
+var errShortWrite = errFixed("short write")
+
+type errFixed string
+
+func (e errFixed) Error() string { return string(e) }

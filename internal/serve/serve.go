@@ -1,0 +1,585 @@
+// Package serve turns the experiment engine into a long-lived simulation
+// service: an HTTP/JSON API in front of a bounded, client-fair job queue
+// that executes every request through one process-wide set of runners, so
+// the single-flight result cache, the refcounted warm-base registry, and
+// the standalone-profile cache are shared across requests — a repeated grid
+// point from any client is a cache hit, and a new scheme over an
+// already-warmed mix forks a resident base instead of re-warming.
+//
+// API:
+//
+//	POST /v1/mix        one (mix, scheme) cell, synchronous; body {"mix","scheme","scale"}
+//	POST /v1/grid       a mixes x schemes grid, asynchronous; returns {"id",...}
+//	GET  /v1/jobs/{id}  job snapshot; ?watch=1 streams one JSON line per change
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET  /metrics       Prometheus text exposition (obs counters + queue gauges)
+//	GET  /healthz       liveness
+//
+// Admission control: the queue depth is bounded; past the bound requests
+// get 429 with a Retry-After hint. Dispatch is round-robin over client IDs
+// (X-Client-ID header, else the remote host), so a flooding client cannot
+// starve others. Draining (SIGTERM) stops admission with 503 but completes
+// every accepted job before shutdown.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwpart/internal/core"
+	"bwpart/internal/exper"
+	"bwpart/internal/obs"
+	"bwpart/internal/workload"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultWorkers    = 2
+	DefaultMaxQueue   = 64
+	DefaultCacheBytes = 256 << 20 // resident result-cache budget
+	DefaultRetryAfter = time.Second
+	// defaultJobRetention bounds how many terminal jobs stay queryable; the
+	// oldest are forgotten first (their results remain in the result cache,
+	// so re-requesting them is still free).
+	defaultJobRetention = 256
+)
+
+// Options configures a Server.
+type Options struct {
+	// Exper is the base experiment configuration. Obs, Cache, and
+	// CacheBytes are managed by the server (Obs/Cache are created when
+	// unset and shared across every scale's runner); everything else —
+	// windows, seed, kernel, parallelism, checkpoint store — is honored
+	// as given. Checkpoint, when set, is the persistent second cache tier:
+	// a restarted server serves previously simulated cells from disk
+	// without re-simulating.
+	Exper exper.Config
+	// Workers is the number of jobs executed concurrently (each job fans
+	// its cells out internally under Exper.Parallelism). Default 2.
+	Workers int
+	// MaxQueue bounds the number of accepted-but-undispatched jobs;
+	// admission past it is refused with 429. Default 64.
+	MaxQueue int
+	// CacheBytes bounds the resident result cache (default 256 MiB;
+	// negative means unbounded).
+	CacheBytes int64
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// Obs receives every counter (admission, queue, cache, simulation
+	// stages). Created when nil; exposed at /metrics either way.
+	Obs *obs.Collector
+}
+
+// Server is a resident simulation service. Create with New, serve with
+// Run (or mount Handler into an existing mux), stop with Drain.
+type Server struct {
+	opts  Options
+	col   *obs.Collector
+	cache *exper.ResultCache
+	queue *fairQueue
+
+	runnerMu sync.Mutex
+	runners  map[uint64]*exper.Runner // keyed by Float64bits(scale)
+
+	jobMu    sync.Mutex
+	jobs     map[string]*job
+	terminal []string // terminal job IDs, oldest first, for retention
+
+	nextID   atomic.Int64
+	draining atomic.Bool
+	workers  sync.WaitGroup
+}
+
+// New validates the options, builds the scale-1 runner eagerly (so a bad
+// configuration fails at startup, not on the first request), and starts the
+// worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = DefaultWorkers
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = DefaultMaxQueue
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = DefaultCacheBytes
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = DefaultRetryAfter
+	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewCollector()
+	}
+	opts.Exper.Obs = opts.Obs
+	if opts.Exper.Cache == nil {
+		opts.Exper.Cache = exper.NewResultCache()
+	}
+	if opts.CacheBytes > 0 {
+		opts.Exper.CacheBytes = opts.CacheBytes
+	}
+	s := &Server{
+		opts:    opts,
+		col:     opts.Obs,
+		cache:   opts.Exper.Cache,
+		queue:   newFairQueue(opts.MaxQueue),
+		runners: make(map[uint64]*exper.Runner),
+		jobs:    make(map[string]*job),
+	}
+	if _, err := s.runnerFor(1); err != nil {
+		return nil, err
+	}
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// runnerFor returns the resident runner for one bandwidth scale, building
+// it on first use. Every runner shares the server's collector, result
+// cache, and checkpoint store; cells never collide across scales because
+// the scaled DRAM config lands in the fingerprint.
+func (s *Server) runnerFor(scale float64) (*exper.Runner, error) {
+	if !(scale > 0) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("scale %v must be a positive finite number", scale)
+	}
+	key := math.Float64bits(scale)
+	s.runnerMu.Lock()
+	defer s.runnerMu.Unlock()
+	if r, ok := s.runners[key]; ok {
+		return r, nil
+	}
+	cfg := s.opts.Exper
+	cfg.Sim.DRAM = cfg.Sim.DRAM.ScaleBandwidth(scale)
+	r, err := exper.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.runners[key] = r
+	return r, nil
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mix", s.handleMix)
+	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Run serves HTTP on ln until ctx is cancelled, then drains: admission
+// stops (503), every already-accepted job completes, and the HTTP server
+// shuts down — all within drainTimeout, past which running jobs are
+// cancelled. Returns nil on a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	derr := s.Drain(dctx)
+	serr := hs.Shutdown(dctx)
+	if derr != nil {
+		return derr
+	}
+	return serr
+}
+
+// Drain stops admission (new requests get 503), lets every accepted job
+// run to completion, and waits for the workers to exit. If ctx expires
+// first, the remaining jobs are cancelled and Drain reports the deadline
+// error after the workers finish unwinding.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.jobMu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.jobMu.Unlock()
+		<-done
+		return fmt.Errorf("serve: drain deadline exceeded, running jobs cancelled: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// QueueDepth reports the accepted-but-undispatched job count.
+func (s *Server) QueueDepth() int { return s.queue.size() }
+
+// Obs returns the server's collector (for tests and embedding CLIs).
+func (s *Server) Obs() *obs.Collector { return s.col }
+
+// ---- request handling ----
+
+// MixRequest is the body of POST /v1/mix: one cell, answered synchronously
+// with the exper.MixRun JSON.
+type MixRequest struct {
+	Mix    string  `json:"mix"`
+	Scheme string  `json:"scheme"`
+	Scale  float64 `json:"scale,omitempty"` // bandwidth scale, default 1
+}
+
+// GridRequest is the body of POST /v1/grid: a mixes x schemes sweep,
+// answered with 202 and a job to poll or watch.
+type GridRequest struct {
+	Mixes   []string `json:"mixes"`
+	Schemes []string `json:"schemes"`
+	Scale   float64  `json:"scale,omitempty"`
+}
+
+// GridAccepted is the 202 body of POST /v1/grid.
+type GridAccepted struct {
+	ID         string `json:"id"`
+	StatusURL  string `json:"status_url"`
+	CellsTotal int    `json:"cells_total"`
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// clientID identifies the requester for fairness: the X-Client-ID header
+// when present, else the remote host.
+func clientID(r *http.Request) string {
+	if id := strings.TrimSpace(r.Header.Get("X-Client-ID")); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// resolve validates mix and scheme names at admission time, so malformed
+// requests are refused with 400 instead of wasting a queue slot.
+func resolve(mixNames, schemes []string) ([]workload.Mix, error) {
+	if len(mixNames) == 0 || len(schemes) == 0 {
+		return nil, errors.New("need at least one mix and one scheme")
+	}
+	mixes := make([]workload.Mix, len(mixNames))
+	for i, name := range mixNames {
+		m, err := workload.MixByName(name)
+		if err != nil {
+			return nil, err
+		}
+		mixes[i] = m
+	}
+	for _, scheme := range schemes {
+		if scheme == exper.NoPartitioning {
+			continue
+		}
+		if _, err := core.ByName(scheme); err != nil {
+			return nil, err
+		}
+	}
+	return mixes, nil
+}
+
+// admit registers and enqueues a job, applying admission control: 503 while
+// draining, 429 + Retry-After when the queue is full. Returns nil after
+// writing the refusal.
+func (s *Server) admit(w http.ResponseWriter, j *job) *job {
+	if s.draining.Load() {
+		s.col.RequestRejected()
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil
+	}
+	s.jobMu.Lock()
+	s.jobs[j.id] = j
+	s.jobMu.Unlock()
+	if !s.queue.push(j) {
+		s.jobMu.Lock()
+		delete(s.jobs, j.id)
+		s.jobMu.Unlock()
+		s.col.RequestRejected()
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.opts.RetryAfter.Seconds()))))
+		httpError(w, http.StatusTooManyRequests, "job queue full (depth %d)", s.opts.MaxQueue)
+		return nil
+	}
+	s.col.RequestAccepted()
+	return j
+}
+
+func (s *Server) newJobID() string {
+	return "job-" + strconv.FormatInt(s.nextID.Add(1), 10)
+}
+
+func (s *Server) handleMix(w http.ResponseWriter, r *http.Request) {
+	var req MixRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	mixes, err := resolve([]string{req.Mix}, []string{req.Scheme})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := s.runnerFor(req.Scale); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newJob(s.newJobID(), clientID(r), "mix", req.Scale, mixes, []string{req.Scheme})
+	if s.admit(w, j) == nil {
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// The client went away: a queued job frees its slot; a running one
+		// finishes on its own (its cell lands in the shared cache anyway).
+		s.cancelIfQueued(j)
+		return
+	}
+	snap := j.snapshot()
+	switch snap.State {
+	case JobDone:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(snap.Results[0])
+	case JobCancelled:
+		httpError(w, http.StatusConflict, "job %s cancelled", j.id)
+	default:
+		httpError(w, http.StatusInternalServerError, "%s", snap.Error)
+	}
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req GridRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	mixes, err := resolve(req.Mixes, req.Schemes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := s.runnerFor(req.Scale); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newJob(s.newJobID(), clientID(r), "grid", req.Scale, mixes, req.Schemes)
+	if s.admit(w, j) == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(GridAccepted{
+		ID:         j.id,
+		StatusURL:  "/v1/jobs/" + j.id,
+		CellsTotal: j.cellsTotal,
+	})
+}
+
+func (s *Server) lookupJob(id string) *job {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(j.snapshot())
+		return
+	}
+	// Streamed progress: one JSON line per state change, ending with the
+	// terminal snapshot (which carries the results for done jobs).
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		snap, changed := j.watch()
+		if err := enc.Encode(snap); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if snap.State.Terminal() {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookupJob(r.PathValue("id"))
+	if j == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	s.cancelJob(j)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(j.snapshot())
+}
+
+// cancelJob cancels a job in any non-terminal state: a queued job is pulled
+// from the queue and marked cancelled immediately; a running one has its
+// context cancelled and reaches the cancelled state when the runner unwinds
+// (between simulations).
+func (s *Server) cancelJob(j *job) {
+	if s.queue.remove(j) {
+		j.update(func() { j.state = JobCancelled })
+		s.col.JobCancelled()
+		s.finishJob(j)
+		return
+	}
+	if !j.snapshot().State.Terminal() {
+		s.col.JobCancelled()
+	}
+	j.cancel()
+}
+
+// cancelIfQueued is the client-disconnect path for synchronous requests:
+// only a still-queued job is cancelled (running work completes and feeds
+// the shared cache).
+func (s *Server) cancelIfQueued(j *job) {
+	if s.queue.remove(j) {
+		j.update(func() { j.state = JobCancelled })
+		s.col.JobCancelled()
+		s.finishJob(j)
+	}
+}
+
+// finishJob applies terminal-job retention: the oldest terminal jobs are
+// forgotten past the retention bound so a long-lived server's job registry
+// stays bounded.
+func (s *Server) finishJob(j *job) {
+	s.jobMu.Lock()
+	s.terminal = append(s.terminal, j.id)
+	for len(s.terminal) > defaultJobRetention {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.jobMu.Unlock()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.col.Snapshot()
+	if err := snap.WriteProm(w); err != nil {
+		return
+	}
+	s.jobMu.Lock()
+	resident := len(s.jobs)
+	s.jobMu.Unlock()
+	s.runnerMu.Lock()
+	runners := len(s.runners)
+	s.runnerMu.Unlock()
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(w, "# HELP bwpart_serve_queue_depth Accepted jobs waiting for a worker.\n# TYPE bwpart_serve_queue_depth gauge\nbwpart_serve_queue_depth %d\n", s.queue.size())
+	fmt.Fprintf(w, "# HELP bwpart_serve_jobs_resident Jobs retained in the registry.\n# TYPE bwpart_serve_jobs_resident gauge\nbwpart_serve_jobs_resident %d\n", resident)
+	fmt.Fprintf(w, "# HELP bwpart_serve_runners Resident per-scale runners.\n# TYPE bwpart_serve_runners gauge\nbwpart_serve_runners %d\n", runners)
+	fmt.Fprintf(w, "# HELP bwpart_serve_draining Whether admission is closed for drain.\n# TYPE bwpart_serve_draining gauge\nbwpart_serve_draining %d\n", draining)
+}
+
+// ---- job execution ----
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job mix-by-mix: each mix's schemes go through one
+// RunGrid call (shared warm base, group pinning, result-cache dedup), and
+// a progress event fires per completed mix. Cancellation is honored
+// between mixes and, inside RunGrid, between simulations.
+func (s *Server) runJob(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		j.update(func() { j.state = JobCancelled })
+		s.finishJob(j)
+		return
+	}
+	j.update(func() { j.state = JobRunning })
+	runner, err := s.runnerFor(j.scale)
+	if err != nil {
+		j.update(func() { j.state, j.err = JobFailed, err.Error() })
+		s.finishJob(j)
+		return
+	}
+	results := make([]*exper.MixRun, 0, j.cellsTotal)
+	for _, mix := range j.mixes {
+		runs, err := runner.RunGrid(j.ctx, []workload.Mix{mix}, j.scheme)
+		if err != nil {
+			if j.ctx.Err() != nil {
+				j.update(func() { j.state = JobCancelled })
+			} else {
+				j.update(func() { j.state, j.err = JobFailed, err.Error() })
+			}
+			s.finishJob(j)
+			return
+		}
+		results = append(results, runs...)
+		j.update(func() {
+			j.cellsDone = len(results)
+		})
+	}
+	j.update(func() {
+		j.state = JobDone
+		j.results = results
+		j.cellsDone = len(results)
+	})
+	s.finishJob(j)
+}

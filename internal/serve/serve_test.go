@@ -1,0 +1,633 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bwpart/internal/exper"
+	"bwpart/internal/obs"
+	"bwpart/internal/workload"
+)
+
+// testConfig shrinks the simulation windows so a cell costs milliseconds;
+// the serving behaviors under test (dedup, fairness, admission, drain) are
+// window-independent.
+func testConfig() exper.Config {
+	cfg := exper.Quick()
+	cfg.Sim.WarmupInstructions = 60_000
+	cfg.ProfileCycles = 150_000
+	cfg.SettleCycles = 30_000
+	cfg.MeasureCycles = 150_000
+	return cfg
+}
+
+// newTestServer builds a Server plus an httptest front end, tearing both
+// down (with a bounded drain) at test end.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Exper.ProfileCycles == 0 {
+		opts.Exper = testConfig()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any, headers map[string]string) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding %T: %v", v, err)
+	}
+	return v
+}
+
+// normalize pushes a MixRun through a JSON round trip so directly computed
+// runs compare DeepEqual against wire-decoded ones (the round trip is
+// lossless; the checkpoint tests pin that).
+func normalize(t *testing.T, run *exper.MixRun) *exper.MixRun {
+	t.Helper()
+	b, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out exper.MixRun
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+// directRun computes a cell outside the server, on a private runner with
+// the same configuration.
+func directRun(t *testing.T, scheme, mixName string) *exper.MixRun {
+	t.Helper()
+	r, err := exper.NewRunner(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := workload.MixByName(mixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := r.RunMix(mix, scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return normalize(t, run)
+}
+
+func stageCount(s obs.Snapshot, name string) int64 {
+	for _, st := range s.Stages {
+		if st.Name == name {
+			return st.Count
+		}
+	}
+	return 0
+}
+
+// TestServeMixMatchesDirect is the endpoint-level differential: every
+// served cell must be byte-for-byte the result a direct Runner.RunMix
+// computes for the same configuration.
+func TestServeMixMatchesDirect(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	for _, tc := range []struct{ mix, scheme string }{
+		{"hetero-1", "equal"},
+		{"hetero-1", exper.NoPartitioning},
+		{"homo-1", "square-root"},
+	} {
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/mix", MixRequest{Mix: tc.mix, Scheme: tc.scheme}, nil)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("%s/%s: status %d: %s", tc.mix, tc.scheme, resp.StatusCode, body)
+		}
+		got := decodeBody[*exper.MixRun](t, resp)
+		want := directRun(t, tc.scheme, tc.mix)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s: served result diverges from direct RunMix", tc.mix, tc.scheme)
+		}
+	}
+}
+
+// TestServeGridMatchesDirect runs a grid asynchronously and checks the
+// terminal snapshot's results cell by cell against direct runs, in the
+// row-major order RunGrid promises.
+func TestServeGridMatchesDirect(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	mixes := []string{"hetero-1", "homo-1"}
+	schemes := []string{"equal", "square-root"}
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/grid", GridRequest{Mixes: mixes, Schemes: schemes}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	acc := decodeBody[GridAccepted](t, resp)
+	if acc.CellsTotal != 4 {
+		t.Fatalf("cells_total = %d, want 4", acc.CellsTotal)
+	}
+	snap := waitJob(t, ts, acc.ID, 60*time.Second)
+	if snap.State != JobDone {
+		t.Fatalf("job state %q (error %q), want done", snap.State, snap.Error)
+	}
+	if len(snap.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(snap.Results))
+	}
+	i := 0
+	for _, mixName := range mixes {
+		for _, scheme := range schemes {
+			want := directRun(t, scheme, mixName)
+			if !reflect.DeepEqual(snap.Results[i], want) {
+				t.Errorf("cell %d (%s/%s): served result diverges from direct RunMix", i, mixName, scheme)
+			}
+			i++
+		}
+	}
+}
+
+func waitJob(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobSnapshot {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := decodeBody[JobSnapshot](t, resp)
+		if snap.State.Terminal() {
+			return snap
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %q after %v", id, snap.State, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeConcurrentClientsSingleFlight floods the server with overlapping
+// requests from several clients: every response must match the direct run,
+// and the shared cache must admit exactly one leader simulation per unique
+// cell — everything else is a hit or a coalesced waiter.
+func TestServeConcurrentClientsSingleFlight(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 4})
+	cells := []struct{ mix, scheme string }{
+		{"hetero-1", "equal"},
+		{"hetero-1", "square-root"},
+		{"homo-1", "equal"},
+		{"homo-1", "square-root"},
+	}
+	want := make([]*exper.MixRun, len(cells))
+	for i, c := range cells {
+		want[i] = directRun(t, c.scheme, c.mix)
+	}
+	const clients = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*len(cells))
+	for ci := 0; ci < clients; ci++ {
+		for i, c := range cells {
+			wg.Add(1)
+			go func(client string, i int, mix, scheme string) {
+				defer wg.Done()
+				resp := postJSON(t, ts.Client(), ts.URL+"/v1/mix", MixRequest{Mix: mix, Scheme: scheme},
+					map[string]string{"X-Client-ID": client})
+				if resp.StatusCode != http.StatusOK {
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					errs <- fmt.Errorf("%s %s/%s: status %d: %s", client, mix, scheme, resp.StatusCode, body)
+					return
+				}
+				got := decodeBody[*exper.MixRun](t, resp)
+				if !reflect.DeepEqual(got, want[i]) {
+					errs <- fmt.Errorf("%s %s/%s: served result diverges", client, mix, scheme)
+				}
+			}(fmt.Sprintf("client-%d", ci), i, c.mix, c.scheme)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := s.Obs().Snapshot()
+	if snap.Cache.Misses != int64(len(cells)) {
+		t.Errorf("cell-cache misses = %d, want exactly %d (one leader per unique cell)", snap.Cache.Misses, len(cells))
+	}
+	if got, want := snap.Cache.Hits+snap.Cache.Coalesced, int64((clients-1)*len(cells)); got != want {
+		t.Errorf("hits+coalesced = %d, want %d", got, want)
+	}
+	if snap.Admission.Accepted != int64(clients*len(cells)) {
+		t.Errorf("accepted = %d, want %d", snap.Admission.Accepted, clients*len(cells))
+	}
+}
+
+// TestServeQueueFullRejects saturates a Workers=1/MaxQueue=1 server and
+// expects 429 + Retry-After for the overflow, while every accepted job
+// still completes.
+func TestServeQueueFullRejects(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, MaxQueue: 1, RetryAfter: 2 * time.Second})
+	grid := GridRequest{
+		Mixes:   []string{"hetero-1", "hetero-2", "hetero-3"},
+		Schemes: []string{"equal", "square-root"},
+	}
+	var accepted []string
+	rejected := 0
+	for i := 0; i < 6; i++ {
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/grid", grid, nil)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			accepted = append(accepted, decodeBody[GridAccepted](t, resp).ID)
+		case http.StatusTooManyRequests:
+			rejected++
+			ra := resp.Header.Get("Retry-After")
+			if sec, err := strconv.Atoi(ra); err != nil || sec < 1 {
+				t.Errorf("Retry-After = %q, want an integer >= 1", ra)
+			}
+			resp.Body.Close()
+		default:
+			t.Fatalf("request %d: unexpected status %d", i, resp.StatusCode)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no request was refused: admission control did not engage")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("every request was refused")
+	}
+	for _, id := range accepted {
+		if snap := waitJob(t, ts, id, 120*time.Second); snap.State != JobDone {
+			t.Errorf("accepted job %s ended %q (error %q), want done", id, snap.State, snap.Error)
+		}
+	}
+	snap := s.Obs().Snapshot()
+	if snap.Admission.Rejected != int64(rejected) {
+		t.Errorf("rejected counter = %d, want %d", snap.Admission.Rejected, rejected)
+	}
+}
+
+// TestServeDrainCompletesAcceptedJobs accepts jobs, drains, and verifies
+// the drain guarantee: nothing accepted is lost, and admission answers 503
+// while draining.
+func TestServeDrainCompletesAcceptedJobs(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	var ids []string
+	for _, mix := range []string{"hetero-1", "hetero-2", "hetero-3"} {
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/grid",
+			GridRequest{Mixes: []string{mix}, Schemes: []string{"equal", "square-root"}}, nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status %d, want 202", resp.StatusCode)
+		}
+		ids = append(ids, decodeBody[GridAccepted](t, resp).ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		snap := waitJob(t, ts, id, time.Second) // already terminal post-drain
+		if snap.State != JobDone {
+			t.Errorf("job %s ended %q (error %q), want done", id, snap.State, snap.Error)
+		}
+		if snap.CellsDone != snap.CellsTotal {
+			t.Errorf("job %s finished %d/%d cells", id, snap.CellsDone, snap.CellsTotal)
+		}
+	}
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "equal"}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain admission status %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestServeCheckpointPersistentTier restarts the server over a populated
+// checkpoint directory: the first repeated request must be served from disk
+// (checkpoint hit, zero simulations), and corrupting the files degrades to
+// plain misses, never errors.
+func TestServeCheckpointPersistentTier(t *testing.T) {
+	dir := t.TempDir()
+	serveOnce := func(col *obs.Collector) *exper.MixRun {
+		store, err := exper.NewCheckpointStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig()
+		cfg.Checkpoint = store
+		s, err := New(Options{Exper: cfg, Obs: col})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}()
+		resp := postJSON(t, ts.Client(), ts.URL+"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "equal"}, nil)
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return decodeBody[*exper.MixRun](t, resp)
+	}
+
+	col1 := obs.NewCollector()
+	first := serveOnce(col1)
+
+	// Restart: same directory, fresh process state. The repeated request
+	// must come off disk without a single simulation.
+	col2 := obs.NewCollector()
+	second := serveOnce(col2)
+	if !reflect.DeepEqual(first, second) {
+		t.Error("restarted server's checkpointed result diverges")
+	}
+	s2 := col2.Snapshot()
+	if s2.Cache.CheckpointHits < 1 {
+		t.Errorf("checkpoint hits = %d, want >= 1", s2.Cache.CheckpointHits)
+	}
+	if n := stageCount(s2, obs.StageWarmup); n != 0 {
+		t.Errorf("restarted server ran %d warmups, want 0 (disk tier should answer)", n)
+	}
+
+	// Corrupt every checkpoint file: the tier must degrade to plain misses.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("checkpoint directory is empty")
+	}
+	for _, e := range entries {
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("{not json"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col3 := obs.NewCollector()
+	third := serveOnce(col3)
+	if !reflect.DeepEqual(first, third) {
+		t.Error("re-simulated result after corruption diverges")
+	}
+	s3 := col3.Snapshot()
+	if s3.Cache.CheckpointHits != 0 {
+		t.Errorf("corrupt files produced %d checkpoint hits, want 0", s3.Cache.CheckpointHits)
+	}
+	if n := stageCount(s3, obs.StageWarmup); n == 0 {
+		t.Error("corrupt checkpoint did not force a re-simulation")
+	}
+}
+
+// TestServeWatchStreamsProgress consumes the NDJSON watch stream of a grid
+// job: progress must be monotone and the stream must end with the terminal
+// snapshot carrying the results.
+func TestServeWatchStreamsProgress(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/grid",
+		GridRequest{Mixes: []string{"hetero-1", "homo-1"}, Schemes: []string{"equal", "square-root"}}, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	acc := decodeBody[GridAccepted](t, resp)
+
+	watch, err := ts.Client().Get(ts.URL + "/v1/jobs/" + acc.ID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watch.Body.Close()
+	if ct := watch.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("watch content type = %q", ct)
+	}
+	var snaps []JobSnapshot
+	sc := bufio.NewScanner(watch.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var snap JobSnapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("bad stream line: %v", err)
+		}
+		snaps = append(snaps, snap)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("watch stream produced no snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.State != JobDone || len(last.Results) != 4 {
+		t.Fatalf("final snapshot: state %q, %d results, want done/4", last.State, len(last.Results))
+	}
+	prev := -1
+	for i, snap := range snaps {
+		if snap.CellsDone < prev {
+			t.Errorf("snapshot %d: cells_done went backwards (%d -> %d)", i, prev, snap.CellsDone)
+		}
+		prev = snap.CellsDone
+		if i < len(snaps)-1 && snap.State.Terminal() {
+			t.Errorf("terminal snapshot %d is not last of %d", i, len(snaps))
+		}
+	}
+}
+
+// TestServeCancelQueuedJob cancels a job that has not been dispatched yet;
+// it must go terminal immediately without simulating anything.
+func TestServeCancelQueuedJob(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+	// Occupy the lone worker so the second job stays queued.
+	busy := postJSON(t, ts.Client(), ts.URL+"/v1/grid",
+		GridRequest{Mixes: []string{"hetero-1", "hetero-2"}, Schemes: []string{"equal", "square-root"}}, nil)
+	busyID := decodeBody[GridAccepted](t, busy).ID
+	queued := postJSON(t, ts.Client(), ts.URL+"/v1/grid",
+		GridRequest{Mixes: []string{"homo-1"}, Schemes: []string{"equal"}}, nil)
+	queuedID := decodeBody[GridAccepted](t, queued).ID
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+queuedID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := decodeBody[JobSnapshot](t, resp)
+	if snap.State != JobCancelled {
+		t.Errorf("cancelled job state %q, want cancelled", snap.State)
+	}
+	if got := s.Obs().Snapshot().Admission.Cancelled; got < 1 {
+		t.Errorf("cancelled counter = %d, want >= 1", got)
+	}
+	if snap := waitJob(t, ts, busyID, 120*time.Second); snap.State != JobDone {
+		t.Errorf("running job ended %q, want done", snap.State)
+	}
+	if snap := waitJob(t, ts, queuedID, time.Second); snap.State != JobCancelled {
+		t.Errorf("queued job resurrected to %q", snap.State)
+	}
+}
+
+// TestServeBadRequests pins the 4xx surface: unknown names and malformed
+// parameters are refused at admission, never queued.
+func TestServeBadRequests(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	for name, tc := range map[string]struct {
+		path string
+		body any
+		want int
+	}{
+		"unknown mix":    {"/v1/mix", MixRequest{Mix: "no-such-mix", Scheme: "equal"}, http.StatusBadRequest},
+		"unknown scheme": {"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "no-such-scheme"}, http.StatusBadRequest},
+		"bad scale":      {"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "equal", Scale: -2}, http.StatusBadRequest},
+		"empty grid":     {"/v1/grid", GridRequest{}, http.StatusBadRequest},
+	} {
+		resp := postJSON(t, ts.Client(), ts.URL+tc.path, tc.body, nil)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if got := s.Obs().Snapshot().Admission.Accepted; got != 0 {
+		t.Errorf("bad requests were admitted: accepted = %d", got)
+	}
+}
+
+// TestServeMetricsAndHealth scrapes /metrics after some work and checks the
+// Prometheus exposition carries both the collector counters and the
+// server's own gauges.
+func TestServeMetricsAndHealth(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "equal"}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mix status %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	health, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(health.Body)
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz: %d %q", health.StatusCode, body)
+	}
+
+	metrics, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	for _, want := range []string{
+		"bwpart_jobs_total",
+		"bwpart_cell_cache_misses_total",
+		"bwpart_requests_accepted_total 1",
+		"bwpart_serve_queue_depth 0",
+		"bwpart_serve_runners 1",
+		"bwpart_serve_draining 0",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestServeSmoke exercises the real serving path end to end: a TCP
+// listener, Run with a cancellable context, one health check, one mix
+// request, then a clean drain on cancel. `make check` runs exactly this.
+func TestServeSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Options{Exper: testConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx, ln, 60*time.Second) }()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	mixResp := postJSON(t, client, base+"/v1/mix", MixRequest{Mix: "hetero-1", Scheme: "equal"}, nil)
+	if mixResp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(mixResp.Body)
+		t.Fatalf("mix status %d: %s", mixResp.StatusCode, body)
+	}
+	run := decodeBody[*exper.MixRun](t, mixResp)
+	if run.Mix.Name != "hetero-1" || run.Scheme != "equal" {
+		t.Fatalf("served cell is (%s, %s)", run.Mix.Name, run.Scheme)
+	}
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("server did not drain after cancel")
+	}
+}

@@ -161,9 +161,9 @@ type Regression struct {
 // compare checks every figure present in both reports — each benchmark's
 // best ns/op and each derived value — and returns those that worsened by
 // more than tolerance percent, plus the number of figures compared. For
-// benchmarks worse means slower; for derived "_speedup" figures worse means
-// smaller; for other derived figures (counters like allocs/op) worse means
-// larger. Figures that exist on only one side are skipped: the gate guards
+// benchmarks worse means slower; for derived "_speedup" and "_per_sec"
+// figures worse means smaller; for other derived figures (counters like
+// allocs/op) worse means larger. Figures that exist on only one side are skipped: the gate guards
 // known figures, it does not pin the set.
 func compare(old, new *Report, tolerance float64) (regs []Regression, compared int) {
 	oldBy := make(map[string]float64, len(old.Benchmarks))
@@ -193,7 +193,7 @@ func compare(old, new *Report, tolerance float64) (regs []Regression, compared i
 			continue
 		}
 		var pct float64
-		if strings.HasSuffix(key, "_speedup") {
+		if strings.HasSuffix(key, "_speedup") || strings.HasSuffix(key, "_per_sec") {
 			// Higher is better; a ratio needs a positive baseline.
 			if was <= 0 {
 				continue
@@ -288,7 +288,8 @@ func parse(r io.Reader) (*Report, error) {
 // derive computes the acceptance figures when the relevant benchmarks are
 // present: naive/skip speedups for the System.Run mixes, the event-queue
 // allocation count, the sweep fork and figure-suite memoization speedups,
-// and the memoized figure pass's unique-vs-requested cell counts.
+// the memoized figure pass's unique-vs-requested cell counts, and the
+// serving stack's warm-vs-cold speedup plus sustained request rates.
 func derive(rep *Report, byName map[string]*Bench) {
 	speedup := func(key, naive, skip string) {
 		n, s := byName[naive], byName[skip]
@@ -301,6 +302,21 @@ func derive(rep *Report, byName map[string]*Bench) {
 	speedup("saturated_speedup", "BenchmarkRunSaturated/naive", "BenchmarkRunSaturated/skip")
 	speedup("sweep_fork_speedup", "BenchmarkSweep/cold", "BenchmarkSweep/forked")
 	speedup("figures_dedup_speedup", "BenchmarkFigureSuite/cold", "BenchmarkFigureSuite/memoized")
+	speedup("serve_warm_speedup", "BenchmarkServe/cold", "BenchmarkServe/warm")
+	// Serving throughput: the best sustained request rate of each warm arm.
+	// _per_sec figures gate like speedups — shrinking is the regression.
+	for arm, key := range map[string]string{
+		"BenchmarkServe/warm":       "serve_warm_reqs_per_sec",
+		"BenchmarkServe/concurrent": "serve_concurrent_reqs_per_sec",
+	} {
+		if bench := byName[arm]; bench != nil {
+			for _, r := range bench.Runs {
+				if v := r.Metrics["req/s"]; v > rep.Derived[key] {
+					rep.Derived[key] = v
+				}
+			}
+		}
+	}
 	if m := byName["BenchmarkFigureSuite/memoized"]; m != nil {
 		// The cell counts are deterministic across runs; take the worst so a
 		// nondeterministic regression can only look worse, never hide.

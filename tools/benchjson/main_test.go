@@ -82,6 +82,44 @@ func TestParseDerivesFigureDedup(t *testing.T) {
 	}
 }
 
+const serveSample = `goos: linux
+pkg: bwpart/internal/serve
+BenchmarkServe/cold-2         	       1	  36217909 ns/op	 1044536 B/op	     875 allocs/op
+BenchmarkServe/warm-2         	       1	    281557 ns/op	      3567 req/s	   16160 B/op	     200 allocs/op
+BenchmarkServe/warm-2         	       1	    192710 ns/op	      5226 req/s	   16192 B/op	     200 allocs/op
+BenchmarkServe/concurrent-2   	       1	    362692 ns/op	      2768 req/s	   18656 B/op	     212 allocs/op
+PASS
+`
+
+func TestParseDerivesServeFigures(t *testing.T) {
+	rep, err := parse(strings.NewReader(serveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rep.Derived["serve_warm_speedup"]
+	if want := 36217909.0 / 192710.0; speedup < want-1e-9 || speedup > want+1e-9 {
+		t.Errorf("serve_warm_speedup = %v, want %v (best warm run)", speedup, want)
+	}
+	if got := rep.Derived["serve_warm_reqs_per_sec"]; got != 5226 {
+		t.Errorf("serve_warm_reqs_per_sec = %v, want 5226 (best run)", got)
+	}
+	if got := rep.Derived["serve_concurrent_reqs_per_sec"]; got != 2768 {
+		t.Errorf("serve_concurrent_reqs_per_sec = %v, want 2768", got)
+	}
+}
+
+func TestCompareGatesPerSecFigures(t *testing.T) {
+	old := &Report{Derived: map[string]float64{"serve_warm_reqs_per_sec": 5000}}
+	slower := &Report{Derived: map[string]float64{"serve_warm_reqs_per_sec": 2000}}
+	if regs, _ := compare(old, slower, 5); len(regs) != 1 {
+		t.Fatalf("throughput collapse not flagged: %+v", regs)
+	}
+	faster := &Report{Derived: map[string]float64{"serve_warm_reqs_per_sec": 9000}}
+	if regs, _ := compare(old, faster, 0); len(regs) != 0 {
+		t.Errorf("throughput gain flagged as regression: %+v", regs)
+	}
+}
+
 func TestParseRejectsEmptyInput(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
 		t.Fatal("expected error on input with no benchmark lines")
