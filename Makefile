@@ -29,7 +29,7 @@ BENCH_GOMAXPROCS ?= 2
 BENCH_COUNT ?= 3
 BENCH_ENV = GOMAXPROCS=$(BENCH_GOMAXPROCS)
 
-.PHONY: check vet build test race smoke benchbuild bench bench-check
+.PHONY: check vet build test race smoke chaos benchbuild bench bench-check
 
 check: vet build test race smoke benchbuild
 
@@ -49,6 +49,15 @@ race:
 # (TCP listener, health check, one mix request, drain on cancel).
 smoke:
 	$(GO) test -run TestServeSmoke -count 1 ./internal/serve
+
+# chaos is the failure-hardening gate: the fault-injection layer's own unit
+# tests plus every TestChaos* scenario in the serve package — deterministic
+# fault schedules over a real listener (checkpoint I/O errors, cell panics
+# and stalls, journal write failures, job deadlines, SIGKILL-equivalent
+# crash and journal resume) — all under the race detector.
+chaos:
+	$(GO) test -race -count 1 ./internal/faultinject
+	$(GO) test -race -count 1 -run TestChaos -timeout 600s ./internal/serve
 
 # benchbuild compiles and link-checks every benchmark without running any
 # (the -run pattern matches no tests, -benchtime 1x keeps it cheap if a

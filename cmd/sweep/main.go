@@ -64,6 +64,8 @@ func main() {
 		"run as a daemon serving the experiment engine over HTTP on this address (e.g. :8080) instead of sweeping")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
 		"with -serve: how long a SIGTERM drain may wait for accepted jobs before cancelling them")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"with -serve: cap each job's wall-clock execution; past it the job fails with a \"deadline\" error and its worker moves on (0 = unlimited; a request's timeout_s can tighten but never exceed this)")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -107,7 +109,7 @@ func main() {
 			ticker := col.StartTicker(os.Stderr, time.Second)
 			defer ticker.Stop()
 		}
-		opts := bwpart.ServerOptions{Exper: cfg, Obs: col}
+		opts := bwpart.ServerOptions{Exper: cfg, Obs: col, JobTimeout: *jobTimeout}
 		if *cacheMB > 0 {
 			opts.CacheBytes = int64(*cacheMB) << 20
 		}

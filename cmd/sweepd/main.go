@@ -39,6 +39,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "queued-job bound before 429s (0 = server default)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute,
 		"how long a shutdown drain may wait for accepted jobs before cancelling them")
+	jobTimeout := flag.Duration("job-timeout", 0,
+		"cap each job's wall-clock execution; past it the job fails with a \"deadline\" error and its worker moves on (0 = unlimited; a request's timeout_s can tighten but never exceed this)")
 	flag.Parse()
 
 	kernel, err := bwpart.KernelByName(*kernelName)
@@ -63,6 +65,7 @@ func main() {
 		Workers:    *workers,
 		MaxQueue:   *maxQueue,
 		CacheBytes: int64(*cacheMB) << 20,
+		JobTimeout: *jobTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -3,9 +3,13 @@ package exper
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
+	"bwpart/internal/faultinject"
+	"bwpart/internal/obs"
 	"bwpart/internal/workload"
 )
 
@@ -15,8 +19,23 @@ import (
 // configuration knob that affects the measurement, so results recorded under
 // a different configuration are never mistaken for the current sweep's — a
 // stale file is simply a cache miss.
+//
+// The store degrades instead of failing: any disk I/O error (a full or
+// read-only disk, a sick mount) permanently demotes it to in-memory-only
+// mode for the rest of its life — Load always misses, Save is a no-op — so
+// a broken checkpoint tier costs persistence, never correctness and never a
+// failed cell. The demotion is logged exactly once and surfaced through the
+// attached collector (checkpoint_errors counter, checkpoint_degraded gauge).
+// A missing file on Load and a corrupt/stale JSON payload are ordinary
+// misses, not degradation.
 type CheckpointStore struct {
 	dir string
+
+	mu       sync.Mutex
+	degraded bool
+	col      *obs.Collector
+	faults   *faultinject.Injector
+	logf     func(format string, args ...any)
 }
 
 // NewCheckpointStore opens (creating if needed) a checkpoint directory.
@@ -33,6 +52,67 @@ func NewCheckpointStore(dir string) (*CheckpointStore, error) {
 // Dir returns the store's directory.
 func (s *CheckpointStore) Dir() string { return s.dir }
 
+// Degraded reports whether a disk failure has demoted the store to
+// in-memory-only mode.
+func (s *CheckpointStore) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// SetLogf overrides where the one-time degradation message goes (default
+// log.Printf). Tests use it to capture the message; sweepd could route it
+// into a structured logger.
+func (s *CheckpointStore) SetLogf(logf func(format string, args ...any)) {
+	s.mu.Lock()
+	s.logf = logf
+	s.mu.Unlock()
+}
+
+// attach installs the runner's collector and fault injector, first non-nil
+// wins — a store shared across runners (per-scale sweep runners, the serve
+// layer) keeps the first observability wiring it saw.
+func (s *CheckpointStore) attach(col *obs.Collector, faults *faultinject.Injector) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.col == nil {
+		s.col = col
+	}
+	if s.faults == nil {
+		s.faults = faults
+	}
+	s.mu.Unlock()
+}
+
+// injector returns the attached fault injector (nil is a valid no-op one).
+func (s *CheckpointStore) injector() *faultinject.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faults
+}
+
+// degrade records one checkpoint I/O failure and demotes the store. The
+// counter counts every distinct error observed; the demotion itself — log
+// line and gauge — happens exactly once per store.
+func (s *CheckpointStore) degrade(op string, err error) {
+	s.mu.Lock()
+	first := !s.degraded
+	s.degraded = true
+	col, logf := s.col, s.logf
+	s.mu.Unlock()
+	col.CheckpointError()
+	if !first {
+		return
+	}
+	col.SetCheckpointDegraded(true)
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("exper: checkpoint %s failed; store degraded to in-memory only (cells still compute, persistence is off): %v", op, err)
+}
+
 // cellPath names the file for one (mix, scheme) cell under the runner's
 // canonical configuration fingerprint (see fingerprint.go). The encoding
 // version is stamped into the name alongside a fingerprint prefix, so a
@@ -44,10 +124,21 @@ func (s *CheckpointStore) cellPath(r *Runner, mixName, scheme string) string {
 
 // Load returns the stored cell for (mix, scheme) under r's configuration,
 // or (nil, false) when absent, unreadable, or recorded under a different
-// configuration — any such miss just means the cell is re-simulated.
+// configuration — any such miss just means the cell is re-simulated. A read
+// error other than "file does not exist" additionally degrades the store.
 func (s *CheckpointStore) Load(r *Runner, mix workload.Mix, scheme string) (*MixRun, bool) {
+	if s.Degraded() {
+		return nil, false
+	}
+	if err := s.injector().Err(faultinject.CheckpointRead); err != nil {
+		s.degrade("read", err)
+		return nil, false
+	}
 	data, err := os.ReadFile(s.cellPath(r, mix.Name, scheme))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			s.degrade("read", err)
+		}
 		return nil, false
 	}
 	var run MixRun
@@ -61,24 +152,47 @@ func (s *CheckpointStore) Load(r *Runner, mix workload.Mix, scheme string) (*Mix
 }
 
 // Save atomically persists one finished cell (temp file + rename), so a
-// crash mid-write never leaves a truncated checkpoint behind.
+// crash mid-write never leaves a truncated checkpoint behind. An I/O error
+// degrades the store (logged and counted there) and is returned only for
+// visibility — callers must never fail a finished cell on it, and the
+// degraded store turns all further Saves into no-ops.
 func (s *CheckpointStore) Save(r *Runner, run *MixRun) error {
+	if s.Degraded() {
+		return nil
+	}
 	data, err := json.Marshal(run)
 	if err != nil {
 		return err
 	}
+	if err := s.injector().Err(faultinject.CheckpointWrite); err != nil {
+		s.degrade("write", err)
+		return err
+	}
 	tmp, err := os.CreateTemp(s.dir, ".cell-*.tmp")
 	if err != nil {
+		s.degrade("write", err)
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
+		s.degrade("write", err)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		s.degrade("write", err)
 		return err
 	}
-	return os.Rename(tmp.Name(), s.cellPath(r, run.Mix.Name, run.Scheme))
+	if err := s.injector().Err(faultinject.CheckpointRename); err != nil {
+		os.Remove(tmp.Name())
+		s.degrade("rename", err)
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.cellPath(r, run.Mix.Name, run.Scheme)); err != nil {
+		os.Remove(tmp.Name())
+		s.degrade("rename", err)
+		return err
+	}
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"bwpart/internal/core"
+	"bwpart/internal/faultinject"
 	"bwpart/internal/metrics"
 	"bwpart/internal/obs"
 	"bwpart/internal/sim"
@@ -72,6 +73,16 @@ type Config struct {
 	// context.Background(). RunGrid takes its context explicitly and
 	// ignores this field.
 	BaseContext context.Context
+	// Faults, when set, arms the deterministic fault-injection layer on the
+	// cell path (checkpoint I/O, cell panics, cell delays — see
+	// internal/faultinject). Nil (the default) makes every fault hook a
+	// one-branch no-op; production never sets this.
+	Faults *faultinject.Injector
+	// CellDone, when set, is called once per (mix, scheme) cell this runner
+	// resolves — fresh simulation, cache hit, or checkpoint hit — with the
+	// runner's configuration fingerprint. The serve layer's crash-resume job
+	// journal hangs off this hook. May be called concurrently.
+	CellDone func(mixName, scheme, fp string)
 	// NoMemoize disables the result cache and warm-base sharing entirely:
 	// every RunMix re-warms and re-simulates from scratch. This is the
 	// reference executor the differential tests compare against.
@@ -173,6 +184,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	// runner's Config() — per-seed repeatability runners, Figure 4's
 	// per-bandwidth runners — share the same process-wide cache.
 	r.cfg = cfg
+	cfg.Checkpoint.attach(cfg.Obs, cfg.Faults)
 	return r, nil
 }
 
@@ -433,7 +445,15 @@ func (r *Runner) cell(mix workload.Mix, scheme string) (*MixRun, error) {
 	// construction and the simulation never read the labels.
 	run.Mix.Name = mix.Name
 	run.Mix.PaperRSD = mix.PaperRSD
+	r.cellDone(mix.Name, scheme)
 	return run, nil
+}
+
+// cellDone notifies Config.CellDone, if set, that one cell resolved.
+func (r *Runner) cellDone(mixName, scheme string) {
+	if r.cfg.CellDone != nil {
+		r.cfg.CellDone(mixName, scheme, r.fp)
+	}
 }
 
 // executeCell resolves one cell below the in-memory cache: the on-disk
@@ -446,6 +466,10 @@ func (r *Runner) executeCell(mix workload.Mix, scheme string) (*MixRun, error) {
 			return run, nil
 		}
 	}
+	r.cfg.Faults.Sleep(faultinject.CellDelay)
+	if r.cfg.Faults.Fire(faultinject.CellPanic) {
+		panic(fmt.Sprintf("injected cell panic (%s/%s)", mix.Name, scheme))
+	}
 	var run *MixRun
 	var err error
 	if r.prepared != nil {
@@ -457,9 +481,9 @@ func (r *Runner) executeCell(mix workload.Mix, scheme string) (*MixRun, error) {
 		return nil, err
 	}
 	if r.cfg.Checkpoint != nil {
-		if err := r.cfg.Checkpoint.Save(r, run); err != nil {
-			return nil, fmt.Errorf("checkpoint: %w", err)
-		}
+		// A Save failure degrades the store — logged and counted there — but
+		// never fails a cell that was successfully simulated.
+		_ = r.cfg.Checkpoint.Save(r, run)
 	}
 	return run, nil
 }

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -141,12 +142,17 @@ feed:
 	return je
 }
 
+// ErrJobPanicked marks errors produced by recovering a panicking job, so
+// callers (the serve layer's failure classification, tests) can
+// errors.Is-match a panic-induced failure through the aggregated jobErrors.
+var ErrJobPanicked = errors.New("panicked")
+
 // runOne invokes fn(i), converting a panic into an error that carries the
 // job index and goroutine stack.
 func runOne(i int, fn func(i int) error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("exper: job %d panicked: %v\n%s", i, r, debug.Stack())
+			err = fmt.Errorf("job %d %w: %v\n%s", i, ErrJobPanicked, r, debug.Stack())
 		}
 	}()
 	return fn(i)
@@ -208,6 +214,7 @@ func (r *Runner) RunGrid(ctx context.Context, mixes []workload.Mix, schemes []st
 		if r.cfg.Checkpoint != nil {
 			if run, ok := r.cfg.Checkpoint.Load(r, cell.Mix, cell.Scheme); ok {
 				r.cfg.Obs.CheckpointHit()
+				r.cellDone(cell.Mix.Name, cell.Scheme)
 				results[i] = run
 				continue
 			}

@@ -1,0 +1,246 @@
+// Package faultinject is a deterministic fault-injection layer for the
+// experiment engine and its serving front end. Production code calls the
+// nil-receiver-safe hooks (Fire, Err, Sleep) on an *Injector it usually does
+// not have — a nil injector is a no-op costing one branch — while chaos
+// tests arm seedable, count- or probability-triggered rules on the named
+// fault points and drive the real stack through the failures a long-lived
+// daemon actually sees: checkpoint I/O errors, panicking cells, artificially
+// slow cells, and stalled job dispatch.
+//
+// Determinism: every trigger decision is a pure function of (seed, point,
+// hit index). Two injectors built with the same seed and armed with the
+// same rules fire identically regardless of goroutine interleaving per
+// point, so a failing chaos schedule replays exactly.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bwpart/internal/xrand"
+)
+
+// Point names one instrumented fault site. The constants below are every
+// site the repo instruments; Arm accepts arbitrary points so tests can
+// define private ones.
+type Point string
+
+const (
+	// CheckpointRead fails CheckpointStore.Load with an injected read error
+	// (distinct from a missing file, which is an ordinary miss).
+	CheckpointRead Point = "checkpoint.read"
+	// CheckpointWrite fails the data-write half of CheckpointStore.Save.
+	CheckpointWrite Point = "checkpoint.write"
+	// CheckpointRename fails the atomic-rename half of CheckpointStore.Save.
+	CheckpointRename Point = "checkpoint.rename"
+	// JournalWrite fails an append to the serve layer's job journal.
+	JournalWrite Point = "journal.write"
+	// CellPanic panics inside the memoized cell executor, as a crashing
+	// simulation would.
+	CellPanic Point = "cell.panic"
+	// CellDelay stalls the memoized cell executor for the rule's Delay.
+	CellDelay Point = "cell.delay"
+	// QueueStall stalls a serve worker between popping a job and running it.
+	QueueStall Point = "queue.stall"
+	// JobPanic panics inside the serve layer's job execution path, outside
+	// the experiment engine's own recovery — the server's last-resort
+	// recover is the only thing between it and the process.
+	JobPanic Point = "job.panic"
+)
+
+// ErrInjected is the base error every injected failure wraps, so callers
+// and tests can errors.Is-match injected faults against real ones.
+var ErrInjected = errors.New("injected fault")
+
+// Rule decides when an armed point fires. The zero Rule fires on every hit;
+// the fields restrict that:
+//
+//   - After skips the first After hits entirely.
+//   - Every fires only each Every-th eligible hit (1 or 0 = every one).
+//   - Prob, when positive, gates each eligible hit with a seeded coin flip.
+//   - Limit caps the total number of fires (0 = unlimited).
+//   - Delay is how long Sleep points stall when they fire.
+//   - Err overrides the error Err-points return (wrapped so ErrInjected
+//     still matches); nil uses a canned "<point>: injected fault".
+type Rule struct {
+	After int64
+	Every int64
+	Prob  float64
+	Limit int64
+	Delay time.Duration
+	Err   error
+}
+
+// armed is one point's rule plus its firing state.
+type armed struct {
+	rule  Rule
+	rng   xrand.RNG
+	hits  int64
+	fired int64
+}
+
+// Injector evaluates armed rules at fault points. All methods are safe for
+// concurrent use and safe on a nil receiver (every production hook is a
+// no-op then), so instrumented code never needs nil checks.
+type Injector struct {
+	mu     sync.Mutex
+	seed   int64
+	points map[Point]*armed
+	total  int64
+	onFire func(Point)
+}
+
+// New returns an injector with no rules armed. seed fixes every
+// probabilistic trigger decision.
+func New(seed int64) *Injector {
+	return &Injector{seed: seed, points: make(map[Point]*armed)}
+}
+
+// Arm installs (or replaces) the rule for a point, resetting its hit and
+// fire counts. Each point draws from its own seed-derived stream, so arming
+// points in a different order cannot change any point's decisions.
+func (in *Injector) Arm(p Point, r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	a := &armed{rule: r}
+	a.rng.Seed(xrand.Mix(uint64(in.seed), xrand.HashString(string(p))))
+	in.points[p] = a
+	in.mu.Unlock()
+}
+
+// Disarm removes a point's rule; subsequent hits never fire.
+func (in *Injector) Disarm(p Point) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	delete(in.points, p)
+	in.mu.Unlock()
+}
+
+// DisarmAll removes every rule, ending a chaos schedule.
+func (in *Injector) DisarmAll() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.points = make(map[Point]*armed)
+	in.mu.Unlock()
+}
+
+// OnFire installs a callback invoked (outside the injector lock) once per
+// fired fault — the hook the caller uses to count faults_injected.
+func (in *Injector) OnFire(fn func(Point)) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.onFire = fn
+	in.mu.Unlock()
+}
+
+// Fire records one hit on p and reports whether the armed rule fired. A nil
+// injector, an unarmed point, and an exhausted Limit all report false.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	a := in.points[p]
+	if a == nil {
+		in.mu.Unlock()
+		return false
+	}
+	fired := a.eval()
+	var cb func(Point)
+	if fired {
+		in.total++
+		cb = in.onFire
+	}
+	in.mu.Unlock()
+	if fired && cb != nil {
+		cb(p)
+	}
+	return fired
+}
+
+// eval applies the rule to the next hit. Caller holds the injector lock.
+func (a *armed) eval() bool {
+	a.hits++
+	r := &a.rule
+	if r.Limit > 0 && a.fired >= r.Limit {
+		return false
+	}
+	if a.hits <= r.After {
+		return false
+	}
+	eligible := a.hits - r.After
+	if r.Every > 1 && eligible%r.Every != 0 {
+		return false
+	}
+	// The coin flip is drawn per eligible hit from the point's own stream,
+	// so the decision depends only on (seed, point, hit index).
+	if r.Prob > 0 && a.rng.Float64() >= r.Prob {
+		return false
+	}
+	a.fired++
+	return true
+}
+
+// Err records one hit on p and returns the injected error when the rule
+// fires, nil otherwise. The error wraps ErrInjected.
+func (in *Injector) Err(p Point) error {
+	if !in.Fire(p) {
+		return nil
+	}
+	in.mu.Lock()
+	custom := in.points[p].rule.Err
+	in.mu.Unlock()
+	if custom != nil {
+		return fmt.Errorf("%s: %w: %w", p, ErrInjected, custom)
+	}
+	return fmt.Errorf("%s: %w", p, ErrInjected)
+}
+
+// Sleep records one hit on p and, when the rule fires, stalls for the
+// rule's Delay. The stall is a plain bounded sleep — fault schedules keep
+// delays small and finite, so a stalled worker always comes back.
+func (in *Injector) Sleep(p Point) {
+	if !in.Fire(p) {
+		return
+	}
+	in.mu.Lock()
+	d := in.points[p].rule.Delay
+	in.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Fired reports how many times p has fired since it was last armed.
+func (in *Injector) Fired(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if a := in.points[p]; a != nil {
+		return a.fired
+	}
+	return 0
+}
+
+// Total reports how many faults the injector has fired across all points
+// (including points since disarmed).
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.total
+}

@@ -1,0 +1,222 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsNoOp pins the production contract: a nil injector's
+// hooks never fire, never error, never sleep, never panic.
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	in.Arm(CellPanic, Rule{})
+	in.Disarm(CellPanic)
+	in.DisarmAll()
+	in.OnFire(func(Point) { t.Error("nil injector fired") })
+	if in.Fire(CellPanic) {
+		t.Error("nil injector Fire = true")
+	}
+	if err := in.Err(CheckpointWrite); err != nil {
+		t.Errorf("nil injector Err = %v", err)
+	}
+	in.Sleep(CellDelay)
+	if in.Fired(CellPanic) != 0 || in.Total() != 0 {
+		t.Error("nil injector reports fires")
+	}
+}
+
+// TestUnarmedPointNeverFires: hooks on points without rules are no-ops.
+func TestUnarmedPointNeverFires(t *testing.T) {
+	in := New(1)
+	for i := 0; i < 100; i++ {
+		if in.Fire(CellPanic) {
+			t.Fatal("unarmed point fired")
+		}
+	}
+	if in.Total() != 0 {
+		t.Errorf("total = %d, want 0", in.Total())
+	}
+}
+
+// TestCountTriggers covers After / Every / Limit arithmetic.
+func TestCountTriggers(t *testing.T) {
+	in := New(7)
+	in.Arm(CellPanic, Rule{After: 2, Every: 3, Limit: 2})
+	var fires []int
+	for hit := 1; hit <= 20; hit++ {
+		if in.Fire(CellPanic) {
+			fires = append(fires, hit)
+		}
+	}
+	// Eligible hits start at 3; every 3rd eligible hit fires (5, 8, ...)
+	// but Limit caps it at two fires.
+	want := []int{5, 8}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+	if got := in.Fired(CellPanic); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+// TestZeroRuleFiresEveryHit: the zero rule is "always".
+func TestZeroRuleFiresEveryHit(t *testing.T) {
+	in := New(1)
+	in.Arm(QueueStall, Rule{})
+	for i := 0; i < 5; i++ {
+		if !in.Fire(QueueStall) {
+			t.Fatalf("hit %d did not fire", i+1)
+		}
+	}
+}
+
+// TestProbDeterminism: the same seed yields the same firing pattern, and a
+// different seed (very likely) a different one; firing frequency tracks the
+// probability roughly.
+func TestProbDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		in := New(seed)
+		in.Arm(CheckpointWrite, Rule{Prob: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.Fire(CheckpointWrite)
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires < 30 || fires > 90 {
+		t.Errorf("prob 0.3 fired %d/200 times", fires)
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical patterns")
+	}
+}
+
+// TestArmOrderIndependence: each point draws from its own stream, so the
+// order points are armed (or interleaved) cannot change decisions.
+func TestArmOrderIndependence(t *testing.T) {
+	seq := func(armFirst Point) []bool {
+		in := New(9)
+		if armFirst == CheckpointRead {
+			in.Arm(CheckpointRead, Rule{Prob: 0.5})
+			in.Arm(CheckpointWrite, Rule{Prob: 0.5})
+		} else {
+			in.Arm(CheckpointWrite, Rule{Prob: 0.5})
+			in.Arm(CheckpointRead, Rule{Prob: 0.5})
+		}
+		out := make([]bool, 0, 100)
+		for i := 0; i < 50; i++ {
+			out = append(out, in.Fire(CheckpointRead), in.Fire(CheckpointWrite))
+		}
+		return out
+	}
+	a, b := seq(CheckpointRead), seq(CheckpointWrite)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arming order changed decision %d", i)
+		}
+	}
+}
+
+// TestErrWrapsErrInjected: injected errors match ErrInjected and carry a
+// custom cause when the rule has one.
+func TestErrWrapsErrInjected(t *testing.T) {
+	in := New(1)
+	in.Arm(CheckpointRead, Rule{})
+	if err := in.Err(CheckpointRead); !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error %v does not match ErrInjected", err)
+	}
+	cause := errors.New("disk on fire")
+	in.Arm(CheckpointWrite, Rule{Err: cause})
+	err := in.Err(CheckpointWrite)
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, cause) {
+		t.Errorf("custom error %v does not match both ErrInjected and the cause", err)
+	}
+}
+
+// TestSleepDelays: a fired delay point stalls at least its Delay.
+func TestSleepDelays(t *testing.T) {
+	in := New(1)
+	in.Arm(CellDelay, Rule{Delay: 20 * time.Millisecond})
+	t0 := time.Now()
+	in.Sleep(CellDelay)
+	if d := time.Since(t0); d < 20*time.Millisecond {
+		t.Errorf("Sleep returned after %v, want >= 20ms", d)
+	}
+}
+
+// TestOnFireCountsEveryFire: the observer hook sees exactly the fires, and
+// Disarm stops a point while Total persists.
+func TestOnFireCountsEveryFire(t *testing.T) {
+	in := New(1)
+	var mu sync.Mutex
+	counts := map[Point]int{}
+	in.OnFire(func(p Point) {
+		mu.Lock()
+		counts[p]++
+		mu.Unlock()
+	})
+	in.Arm(CellPanic, Rule{Every: 2})
+	for i := 0; i < 10; i++ {
+		in.Fire(CellPanic)
+	}
+	in.Disarm(CellPanic)
+	for i := 0; i < 10; i++ {
+		if in.Fire(CellPanic) {
+			t.Error("disarmed point fired")
+		}
+	}
+	mu.Lock()
+	got := counts[CellPanic]
+	mu.Unlock()
+	if got != 5 {
+		t.Errorf("observer saw %d fires, want 5", got)
+	}
+	if in.Total() != 5 {
+		t.Errorf("Total = %d, want 5 (persists across Disarm)", in.Total())
+	}
+}
+
+// TestConcurrentFire: concurrent hits race-cleanly and account exactly.
+func TestConcurrentFire(t *testing.T) {
+	in := New(1)
+	in.Arm(QueueStall, Rule{Every: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				in.Fire(QueueStall)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Fired(QueueStall); got != 1000 {
+		t.Errorf("Fired = %d, want 1000 (2000 hits, every 2nd)", got)
+	}
+}

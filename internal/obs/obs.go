@@ -56,6 +56,12 @@ type Collector struct {
 	reqAccepted   int64
 	reqRejected   int64
 	jobsCancelled int64
+
+	jobsDeadline       int64
+	jobsPanicked       int64
+	checkpointErrors   int64
+	checkpointDegraded int64 // gauge: 0 healthy, 1 demoted to in-memory-only
+	faultsInjected     int64
 }
 
 type stageAgg struct {
@@ -233,6 +239,66 @@ func (c *Collector) JobCancelled() {
 	c.mu.Unlock()
 }
 
+// JobDeadlineExceeded records one service job failed by its deadline
+// (Options.JobTimeout or the request's timeout_s).
+func (c *Collector) JobDeadlineExceeded() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsDeadline++
+	c.mu.Unlock()
+}
+
+// JobPanicked records one service job failed by the last-resort panic
+// recovery (the daemon kept serving).
+func (c *Collector) JobPanicked() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.jobsPanicked++
+	c.mu.Unlock()
+}
+
+// CheckpointError records one checkpoint-tier I/O failure (load, save, or
+// journal append). Failures demote the store rather than failing cells, so
+// this counter plus the degraded gauge are how a sick disk surfaces.
+func (c *Collector) CheckpointError() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.checkpointErrors++
+	c.mu.Unlock()
+}
+
+// SetCheckpointDegraded updates the checkpoint-tier health gauge: true once
+// the store has demoted itself to in-memory-only mode.
+func (c *Collector) SetCheckpointDegraded(degraded bool) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if degraded {
+		c.checkpointDegraded = 1
+	} else {
+		c.checkpointDegraded = 0
+	}
+	c.mu.Unlock()
+}
+
+// FaultInjected records one fired fault-injection point (chaos testing;
+// always zero in production, where the injector hook is nil).
+func (c *Collector) FaultInjected() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.faultsInjected++
+	c.mu.Unlock()
+}
+
 // WarmBaseFork records one measurement positioned on a warm prepared base
 // (a fresh fork or a pooled system restored in place) instead of paying a
 // full functional warmup.
@@ -360,6 +426,19 @@ type AdmissionStats struct {
 	Cancelled int64 `json:"cancelled"`
 }
 
+// FailureStats summarizes the failure paths of a long-lived service: jobs
+// that hit their deadline, jobs saved by the last-resort panic recovery,
+// checkpoint-tier I/O errors and the resulting degraded gauge (0 healthy,
+// 1 demoted to in-memory-only), and fired fault-injection points (nonzero
+// only under chaos testing).
+type FailureStats struct {
+	DeadlineExceeded   int64 `json:"jobs_deadline_exceeded"`
+	Panicked           int64 `json:"jobs_panicked"`
+	CheckpointErrors   int64 `json:"checkpoint_errors"`
+	CheckpointDegraded int64 `json:"checkpoint_degraded"`
+	FaultsInjected     int64 `json:"faults_injected"`
+}
+
 // Snapshot is a point-in-time copy of every collected statistic, ordered
 // deterministically (stages sorted by name) for stable JSON output.
 type Snapshot struct {
@@ -369,6 +448,7 @@ type Snapshot struct {
 	Queue          QueueStats     `json:"queue"`
 	Cache          CacheStats     `json:"cell_cache"`
 	Admission      AdmissionStats `json:"admission"`
+	Failures       FailureStats   `json:"failures"`
 }
 
 // Snapshot returns a consistent copy of the current counters. A nil
@@ -401,6 +481,13 @@ func (c *Collector) Snapshot() Snapshot {
 			Accepted:  c.reqAccepted,
 			Rejected:  c.reqRejected,
 			Cancelled: c.jobsCancelled,
+		},
+		Failures: FailureStats{
+			DeadlineExceeded:   c.jobsDeadline,
+			Panicked:           c.jobsPanicked,
+			CheckpointErrors:   c.checkpointErrors,
+			CheckpointDegraded: c.checkpointDegraded,
+			FaultsInjected:     c.faultsInjected,
 		},
 	}
 	if !c.started.IsZero() {
@@ -443,6 +530,24 @@ func (s Snapshot) Line() string {
 		}
 		if cs.CheckpointHits > 0 {
 			out += fmt.Sprintf(" ckpt %d", cs.CheckpointHits)
+		}
+	}
+	if f := s.Failures; f.DeadlineExceeded+f.Panicked+f.CheckpointErrors+f.FaultsInjected > 0 || f.CheckpointDegraded != 0 {
+		out += " |"
+		if f.DeadlineExceeded > 0 {
+			out += fmt.Sprintf(" deadline %d", f.DeadlineExceeded)
+		}
+		if f.Panicked > 0 {
+			out += fmt.Sprintf(" panicked %d", f.Panicked)
+		}
+		if f.CheckpointErrors > 0 {
+			out += fmt.Sprintf(" ckpt-err %d", f.CheckpointErrors)
+		}
+		if f.CheckpointDegraded != 0 {
+			out += " ckpt-degraded"
+		}
+		if f.FaultsInjected > 0 {
+			out += fmt.Sprintf(" faults %d", f.FaultsInjected)
 		}
 	}
 	out += fmt.Sprintf(" | %.1fs", s.ElapsedSeconds)
@@ -488,6 +593,11 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	emit("bwpart_requests_accepted_total", "counter", "Service requests admitted into the job queue.", float64(s.Admission.Accepted))
 	emit("bwpart_requests_rejected_total", "counter", "Service requests refused by admission control.", float64(s.Admission.Rejected))
 	emit("bwpart_jobs_cancelled_total", "counter", "Accepted jobs cancelled before completion.", float64(s.Admission.Cancelled))
+	emit("bwpart_jobs_deadline_exceeded_total", "counter", "Service jobs failed by their deadline.", float64(s.Failures.DeadlineExceeded))
+	emit("bwpart_jobs_panicked_total", "counter", "Service jobs failed by the last-resort panic recovery.", float64(s.Failures.Panicked))
+	emit("bwpart_checkpoint_errors_total", "counter", "Checkpoint-tier I/O failures (load, save, journal).", float64(s.Failures.CheckpointErrors))
+	emit("bwpart_checkpoint_degraded", "gauge", "Whether the checkpoint store has demoted itself to in-memory-only mode.", float64(s.Failures.CheckpointDegraded))
+	emit("bwpart_faults_injected_total", "counter", "Fired fault-injection points (chaos testing only).", float64(s.Failures.FaultsInjected))
 	return err
 }
 

@@ -181,6 +181,47 @@ func TestCacheAndAdmissionCounters(t *testing.T) {
 	nilc.JobCancelled()
 }
 
+func TestFailureCounters(t *testing.T) {
+	c := NewCollector()
+	c.JobDeadlineExceeded()
+	c.JobDeadlineExceeded()
+	c.JobPanicked()
+	c.CheckpointError()
+	c.SetCheckpointDegraded(true)
+	c.FaultInjected()
+	c.FaultInjected()
+	c.FaultInjected()
+	f := c.Snapshot().Failures
+	want := FailureStats{DeadlineExceeded: 2, Panicked: 1, CheckpointErrors: 1, CheckpointDegraded: 1, FaultsInjected: 3}
+	if f != want {
+		t.Fatalf("failures = %+v, want %+v", f, want)
+	}
+
+	// The degraded gauge is 0/1, settable both ways.
+	c.SetCheckpointDegraded(false)
+	if got := c.Snapshot().Failures.CheckpointDegraded; got != 0 {
+		t.Fatalf("degraded gauge = %d after reset, want 0", got)
+	}
+
+	line := c.Snapshot().Line()
+	for _, wantSub := range []string{"deadline 2", "panicked 1", "ckpt-err 1", "faults 3"} {
+		if !strings.Contains(line, wantSub) {
+			t.Fatalf("line %q missing %q", line, wantSub)
+		}
+	}
+
+	// Nil receivers stay no-ops.
+	var nilc *Collector
+	nilc.JobDeadlineExceeded()
+	nilc.JobPanicked()
+	nilc.CheckpointError()
+	nilc.SetCheckpointDegraded(true)
+	nilc.FaultInjected()
+	if nilc.Snapshot().Failures != (FailureStats{}) {
+		t.Fatal("nil collector recorded failure data")
+	}
+}
+
 func TestWriteProm(t *testing.T) {
 	c := NewCollector()
 	c.AddTotal(3)
@@ -193,6 +234,11 @@ func TestWriteProm(t *testing.T) {
 	c.CheckpointHit()
 	c.RequestAccepted()
 	c.RequestRejected()
+	c.JobDeadlineExceeded()
+	c.JobPanicked()
+	c.CheckpointError()
+	c.SetCheckpointDegraded(true)
+	c.FaultInjected()
 	var sb strings.Builder
 	if err := c.Snapshot().WriteProm(&sb); err != nil {
 		t.Fatal(err)
@@ -210,6 +256,12 @@ func TestWriteProm(t *testing.T) {
 		"bwpart_requests_rejected_total 1",
 		"# TYPE bwpart_cell_cache_bytes gauge",
 		"# TYPE bwpart_jobs_total counter",
+		"bwpart_jobs_deadline_exceeded_total 1",
+		"bwpart_jobs_panicked_total 1",
+		"bwpart_checkpoint_errors_total 1",
+		"bwpart_checkpoint_degraded 1",
+		"bwpart_faults_injected_total 1",
+		"# TYPE bwpart_checkpoint_degraded gauge",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("prom output missing %q:\n%s", want, out)

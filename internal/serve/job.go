@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"time"
 
 	"bwpart/internal/exper"
 	"bwpart/internal/workload"
@@ -12,18 +13,28 @@ import (
 type JobState string
 
 // Job lifecycle: Queued -> Running -> one of Done / Failed / Cancelled.
-// Cancellation can also strike a job that is still queued.
+// Cancellation can also strike a job that is still queued. Interrupted is
+// the terminal state of jobs recovered from the journal of a previous
+// process — they never ran here; POST /v1/jobs/{id}/retry re-enqueues them.
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
+	JobQueued      JobState = "queued"
+	JobRunning     JobState = "running"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed"
+	JobCancelled   JobState = "cancelled"
+	JobInterrupted JobState = "interrupted"
+)
+
+// Error kinds distinguish why a job failed (JobSnapshot.ErrorKind):
+// a blown deadline, a panic (injected or real), or an ordinary error ("").
+const (
+	ErrKindDeadline = "deadline"
+	ErrKindPanic    = "panic"
 )
 
 // Terminal reports whether a state is final.
 func (s JobState) Terminal() bool {
-	return s == JobDone || s == JobFailed || s == JobCancelled
+	return s == JobDone || s == JobFailed || s == JobCancelled || s == JobInterrupted
 }
 
 // JobSnapshot is the wire representation of a job's current state, returned
@@ -38,6 +49,7 @@ type JobSnapshot struct {
 	CellsTotal int             `json:"cells_total"`
 	CellsDone  int             `json:"cells_done"`
 	Error      string          `json:"error,omitempty"`
+	ErrorKind  string          `json:"error_kind,omitempty"` // "deadline" | "panic" | ""
 	Results    []*exper.MixRun `json:"results,omitempty"`
 }
 
@@ -46,12 +58,13 @@ type JobSnapshot struct {
 // every change), so any number of watchers can wait for the next change
 // without the job tracking subscribers.
 type job struct {
-	id     string
-	client string
-	kind   string
-	scale  float64
-	mixes  []workload.Mix
-	scheme []string
+	id      string
+	client  string
+	kind    string
+	scale   float64
+	mixes   []workload.Mix
+	scheme  []string
+	timeout time.Duration // effective deadline, 0 = unlimited
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -62,11 +75,12 @@ type job struct {
 	cellsTotal int
 	results    []*exper.MixRun
 	err        string
+	errKind    string
 	updated    chan struct{} // closed and replaced on every state change
 	done       chan struct{} // closed once, on reaching a terminal state
 }
 
-func newJob(id, client, kind string, scale float64, mixes []workload.Mix, schemes []string) *job {
+func newJob(id, client, kind string, scale float64, mixes []workload.Mix, schemes []string, timeout time.Duration) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &job{
 		id:         id,
@@ -75,6 +89,7 @@ func newJob(id, client, kind string, scale float64, mixes []workload.Mix, scheme
 		scale:      scale,
 		mixes:      mixes,
 		scheme:     schemes,
+		timeout:    timeout,
 		ctx:        ctx,
 		cancel:     cancel,
 		state:      JobQueued,
@@ -84,15 +99,16 @@ func newJob(id, client, kind string, scale float64, mixes []workload.Mix, scheme
 	}
 }
 
-// update applies fn under the job lock and wakes every watcher. Reaching a
-// terminal state also closes done (exactly once: transitions out of a
-// terminal state are ignored, so a late worker failure cannot re-open a
-// cancelled job).
-func (j *job) update(fn func()) {
+// update applies fn under the job lock and wakes every watcher, reporting
+// whether it was applied. Reaching a terminal state also closes done
+// (exactly once: transitions out of a terminal state are ignored and report
+// false, so a late worker failure cannot re-open a cancelled job, and an
+// abandoned deadline-exceeded executor cannot double-finish one).
+func (j *job) update(fn func()) bool {
 	j.mu.Lock()
 	if j.state.Terminal() {
 		j.mu.Unlock()
-		return
+		return false
 	}
 	fn()
 	close(j.updated)
@@ -102,6 +118,7 @@ func (j *job) update(fn func()) {
 	if terminal {
 		close(j.done)
 	}
+	return true
 }
 
 // watch returns the current snapshot plus a channel closed at the next
@@ -130,6 +147,7 @@ func (j *job) snapshotLocked() JobSnapshot {
 		CellsTotal: j.cellsTotal,
 		CellsDone:  j.cellsDone,
 		Error:      j.err,
+		ErrorKind:  j.errKind,
 	}
 	if j.state == JobDone {
 		s.Results = j.results

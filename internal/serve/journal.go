@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"os"
+	"sync"
+
+	"bwpart/internal/faultinject"
+	"bwpart/internal/obs"
+)
+
+// The job journal is the serve layer's crash-resume record: an append-only
+// JSONL file (journal.jsonl in the checkpoint directory) of accepted grid
+// jobs, finished cells, and terminal transitions. After a crash — SIGKILL,
+// OOM, power loss — a restarted server replays it: accepted jobs with no
+// terminal record materialize as "interrupted" jobs listed by GET /v1/jobs,
+// and POST /v1/jobs/{id}/retry re-enqueues one, paying only for the cells
+// whose checkpoints never landed (the cell records plus the checkpoint tier
+// answer the rest).
+//
+// The journal is an optimization, never a dependency: a write failure
+// (injected or real) disables journaling for the process — logged once,
+// counted as a checkpoint error — and jobs keep running without it. A torn
+// final line (crash mid-append) is skipped at replay.
+
+// journalRecord is one JSONL line. Event selects which fields are set.
+type journalRecord struct {
+	Event    string   `json:"event"` // "accepted" | "cell" | "terminal"
+	ID       string   `json:"id,omitempty"`
+	Client   string   `json:"client,omitempty"`
+	Kind     string   `json:"kind,omitempty"`
+	Scale    float64  `json:"scale,omitempty"`
+	TimeoutS float64  `json:"timeout_s,omitempty"`
+	Mixes    []string `json:"mixes,omitempty"`
+	Schemes  []string `json:"schemes,omitempty"`
+	State    string   `json:"state,omitempty"`  // terminal records
+	Mix      string   `json:"mix,omitempty"`    // cell records
+	Scheme   string   `json:"scheme,omitempty"` // cell records
+	FP       string   `json:"fp,omitempty"`     // cell records
+}
+
+// cellJournalKey names one finished cell for dedup and replay matching.
+func cellJournalKey(fp, mixName, scheme string) string {
+	return fp + "/" + mixName + "/" + scheme
+}
+
+// journal appends records to the JSONL file. All methods are nil-safe (a
+// server without a checkpoint store has no journal).
+type journal struct {
+	mu        sync.Mutex
+	f         *os.File
+	col       *obs.Collector
+	faults    *faultinject.Injector
+	logf      func(format string, args ...any)
+	disabled  bool
+	seenCells map[string]bool // cells already recorded (this process or replayed)
+}
+
+// openJournal reads existing records from path (tolerating a torn last
+// line), then opens it for appending. The records are returned even when the
+// append open fails, so replay still works off a read-only disk.
+func openJournal(path string, col *obs.Collector, faults *faultinject.Injector) (*journal, []journalRecord, error) {
+	var recs []journalRecord
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if json.Unmarshal(line, &rec) != nil {
+				continue // torn write from a crash mid-append
+			}
+			recs = append(recs, rec)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, recs, err
+	}
+	jn := &journal{f: f, col: col, faults: faults, seenCells: make(map[string]bool)}
+	for _, rec := range recs {
+		if rec.Event == "cell" {
+			jn.seenCells[cellJournalKey(rec.FP, rec.Mix, rec.Scheme)] = true
+		}
+	}
+	return jn, recs, nil
+}
+
+// append writes one record, disabling the journal on the first failure.
+func (jn *journal) append(rec journalRecord) {
+	if jn == nil {
+		return
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.disabled {
+		return
+	}
+	if err := jn.faults.Err(faultinject.JournalWrite); err != nil {
+		jn.disableLocked(err)
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	if _, err := jn.f.Write(append(data, '\n')); err != nil {
+		jn.disableLocked(err)
+	}
+}
+
+// disableLocked turns journaling off for the rest of the process: logged
+// exactly once, counted through the collector. Jobs are unaffected.
+func (jn *journal) disableLocked(err error) {
+	jn.disabled = true
+	jn.col.CheckpointError()
+	logf := jn.logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	logf("serve: job journal write failed; journaling disabled for this process (jobs unaffected, resume records stop here): %v", err)
+}
+
+// accepted records an admitted grid job. Synchronous mix jobs are not
+// journaled — their client is gone after a crash, there is nothing to
+// resume for.
+func (jn *journal) accepted(j *job) {
+	if jn == nil || j.kind != "grid" {
+		return
+	}
+	mixes := make([]string, len(j.mixes))
+	for i, m := range j.mixes {
+		mixes[i] = m.Name
+	}
+	jn.append(journalRecord{
+		Event:    "accepted",
+		ID:       j.id,
+		Client:   j.client,
+		Kind:     j.kind,
+		Scale:    j.scale,
+		TimeoutS: j.timeout.Seconds(),
+		Mixes:    mixes,
+		Schemes:  j.scheme,
+	})
+}
+
+// cell records one resolved cell (exper.Config.CellDone hook), deduplicated
+// so cache hits on an already-journaled cell cost one map lookup.
+func (jn *journal) cell(mixName, scheme, fp string) {
+	if jn == nil {
+		return
+	}
+	key := cellJournalKey(fp, mixName, scheme)
+	jn.mu.Lock()
+	seen := jn.seenCells[key]
+	if !seen {
+		jn.seenCells[key] = true
+	}
+	jn.mu.Unlock()
+	if seen {
+		return
+	}
+	jn.append(journalRecord{Event: "cell", Mix: mixName, Scheme: scheme, FP: fp})
+}
+
+// terminal records a job reaching a final state.
+func (jn *journal) terminal(id string, state JobState) {
+	if jn == nil {
+		return
+	}
+	jn.append(journalRecord{Event: "terminal", ID: id, State: string(state)})
+}
+
+// closeFile releases the journal file (drain path; writes after close would
+// disable the journal, but drain stops them first).
+func (jn *journal) closeFile() {
+	if jn == nil {
+		return
+	}
+	jn.mu.Lock()
+	jn.disabled = true
+	if jn.f != nil {
+		jn.f.Close()
+		jn.f = nil
+	}
+	jn.mu.Unlock()
+}

@@ -8,9 +8,11 @@
 //
 // API:
 //
-//	POST /v1/mix        one (mix, scheme) cell, synchronous; body {"mix","scheme","scale"}
+//	POST /v1/mix        one (mix, scheme) cell, synchronous; body {"mix","scheme","scale","timeout_s"}
 //	POST /v1/grid       a mixes x schemes grid, asynchronous; returns {"id",...}
+//	GET  /v1/jobs       list every resident job (including "interrupted" jobs recovered from the journal)
 //	GET  /v1/jobs/{id}  job snapshot; ?watch=1 streams one JSON line per change
+//	POST /v1/jobs/{id}/retry  re-enqueue a terminal job's spec as a fresh job
 //	DELETE /v1/jobs/{id} cancel a queued or running job
 //	GET  /metrics       Prometheus text exposition (obs counters + queue gauges)
 //	GET  /healthz       liveness
@@ -27,9 +29,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net"
 	"net/http"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -38,6 +44,7 @@ import (
 
 	"bwpart/internal/core"
 	"bwpart/internal/exper"
+	"bwpart/internal/faultinject"
 	"bwpart/internal/obs"
 	"bwpart/internal/workload"
 )
@@ -78,6 +85,16 @@ type Options struct {
 	// Obs receives every counter (admission, queue, cache, simulation
 	// stages). Created when nil; exposed at /metrics either way.
 	Obs *obs.Collector
+	// JobTimeout caps each job's wall-clock execution; a job past it fails
+	// with a "deadline" error and its worker moves on (the abandoned
+	// executor unwinds in the background and its late result is ignored).
+	// A request's timeout_s can tighten but never exceed this cap.
+	// 0 (the default) means unlimited.
+	JobTimeout time.Duration
+	// Faults arms the deterministic fault-injection layer across the serve
+	// and experiment layers (chaos tests only). Nil — the production
+	// default — makes every fault hook a one-branch no-op.
+	Faults *faultinject.Injector
 }
 
 // Server is a resident simulation service. Create with New, serve with
@@ -95,9 +112,13 @@ type Server struct {
 	jobs     map[string]*job
 	terminal []string // terminal job IDs, oldest first, for retention
 
-	nextID   atomic.Int64
-	draining atomic.Bool
-	workers  sync.WaitGroup
+	journal *journal // nil without a checkpoint store
+
+	nextID     atomic.Int64
+	draining   atomic.Bool
+	workers    sync.WaitGroup
+	jobsDone   atomic.Int64 // jobs reaching JobDone this process
+	jobsFailed atomic.Int64 // jobs reaching JobFailed this process
 }
 
 // New validates the options, builds the scale-1 runner eagerly (so a bad
@@ -120,11 +141,30 @@ func New(opts Options) (*Server, error) {
 		opts.Obs = obs.NewCollector()
 	}
 	opts.Exper.Obs = opts.Obs
+	opts.Exper.Faults = opts.Faults
+	opts.Faults.OnFire(func(faultinject.Point) { opts.Obs.FaultInjected() })
 	if opts.Exper.Cache == nil {
 		opts.Exper.Cache = exper.NewResultCache()
 	}
 	if opts.CacheBytes > 0 {
 		opts.Exper.CacheBytes = opts.CacheBytes
+	}
+	// With a checkpoint store, the job journal lives beside the cell files
+	// and feeds crash-resume. Its records are replayed below; a journal that
+	// cannot be opened for append is a logged, counted degradation — never a
+	// startup failure.
+	var jn *journal
+	var replay []journalRecord
+	if opts.Exper.Checkpoint != nil {
+		var err error
+		jn, replay, err = openJournal(filepath.Join(opts.Exper.Checkpoint.Dir(), "journal.jsonl"), opts.Obs, opts.Faults)
+		if err != nil {
+			opts.Obs.CheckpointError()
+			log.Printf("serve: opening job journal: %v (journaling disabled, resume still replayed)", err)
+		}
+		if jn != nil {
+			opts.Exper.CellDone = jn.cell
+		}
 	}
 	s := &Server{
 		opts:    opts,
@@ -133,15 +173,82 @@ func New(opts Options) (*Server, error) {
 		queue:   newFairQueue(opts.MaxQueue),
 		runners: make(map[uint64]*exper.Runner),
 		jobs:    make(map[string]*job),
+		journal: jn,
 	}
 	if _, err := s.runnerFor(1); err != nil {
 		return nil, err
 	}
+	s.replayJournal(replay)
 	s.workers.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayJournal materializes the previous process's unfinished grid jobs as
+// terminal "interrupted" jobs: visible on GET /v1/jobs, frozen until a
+// client retries one. Finished-cell records set cellsDone so the listing
+// shows how much of each interrupted job is already paid for, and the job ID
+// counter continues past every replayed ID.
+func (s *Server) replayJournal(recs []journalRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	accepted := make(map[string]journalRecord)
+	terminal := make(map[string]bool)
+	cells := make(map[string]bool)
+	var order []string
+	var maxID int64
+	for _, rec := range recs {
+		switch rec.Event {
+		case "accepted":
+			if _, ok := accepted[rec.ID]; !ok {
+				accepted[rec.ID] = rec
+				order = append(order, rec.ID)
+			}
+			if n, err := strconv.ParseInt(strings.TrimPrefix(rec.ID, "job-"), 10, 64); err == nil {
+				maxID = max(maxID, n)
+			}
+		case "terminal":
+			terminal[rec.ID] = true
+		case "cell":
+			cells[cellJournalKey(rec.FP, rec.Mix, rec.Scheme)] = true
+		}
+	}
+	if maxID > s.nextID.Load() {
+		s.nextID.Store(maxID)
+	}
+	for _, id := range order {
+		if terminal[id] {
+			continue
+		}
+		rec := accepted[id]
+		mixes, err := resolve(rec.Mixes, rec.Schemes)
+		if err != nil {
+			log.Printf("serve: journal job %s no longer resolvable, dropped: %v", id, err)
+			continue
+		}
+		j := newJob(rec.ID, rec.Client, rec.Kind, rec.Scale, mixes, rec.Schemes, time.Duration(rec.TimeoutS*float64(time.Second)))
+		j.state = JobInterrupted
+		j.err = "interrupted: server exited mid-job; POST /v1/jobs/" + j.id + "/retry to resume"
+		close(j.done)
+		if r, err := s.runnerFor(rec.Scale); err == nil {
+			done := 0
+			for _, m := range mixes {
+				for _, scheme := range rec.Schemes {
+					if cells[cellJournalKey(r.Fingerprint(), m.Name, scheme)] {
+						done++
+					}
+				}
+			}
+			j.cellsDone = done
+		}
+		s.jobMu.Lock()
+		s.jobs[j.id] = j
+		s.jobMu.Unlock()
+		s.finishJob(j)
+	}
 }
 
 // runnerFor returns the resident runner for one bandwidth scale, building
@@ -173,7 +280,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mix", s.handleMix)
 	mux.HandleFunc("POST /v1/grid", s.handleGrid)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/retry", s.handleJobRetry)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -220,6 +329,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.journal.closeFile()
 		return nil
 	case <-ctx.Done():
 		s.jobMu.Lock()
@@ -228,6 +338,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 		s.jobMu.Unlock()
 		<-done
+		s.journal.closeFile()
 		return fmt.Errorf("serve: drain deadline exceeded, running jobs cancelled: %w", ctx.Err())
 	}
 }
@@ -249,14 +360,32 @@ type MixRequest struct {
 	Mix    string  `json:"mix"`
 	Scheme string  `json:"scheme"`
 	Scale  float64 `json:"scale,omitempty"` // bandwidth scale, default 1
+	// TimeoutS caps this job's execution in seconds; it can tighten but not
+	// exceed the server's -job-timeout. 0 inherits the server cap.
+	TimeoutS float64 `json:"timeout_s,omitempty"`
 }
 
 // GridRequest is the body of POST /v1/grid: a mixes x schemes sweep,
 // answered with 202 and a job to poll or watch.
 type GridRequest struct {
-	Mixes   []string `json:"mixes"`
-	Schemes []string `json:"schemes"`
-	Scale   float64  `json:"scale,omitempty"`
+	Mixes    []string `json:"mixes"`
+	Schemes  []string `json:"schemes"`
+	Scale    float64  `json:"scale,omitempty"`
+	TimeoutS float64  `json:"timeout_s,omitempty"`
+}
+
+// effectiveTimeout resolves a request's timeout_s against the server cap:
+// the tighter of the two wins, 0 means unlimited.
+func (s *Server) effectiveTimeout(reqS float64) (time.Duration, error) {
+	if reqS < 0 || math.IsNaN(reqS) || math.IsInf(reqS, 0) {
+		return 0, errors.New("timeout_s must be a non-negative finite number")
+	}
+	d := time.Duration(reqS * float64(time.Second))
+	cap := s.opts.JobTimeout
+	if d <= 0 || (cap > 0 && d > cap) {
+		return cap, nil
+	}
+	return d, nil
 }
 
 // GridAccepted is the 202 body of POST /v1/grid.
@@ -333,6 +462,7 @@ func (s *Server) admit(w http.ResponseWriter, j *job) *job {
 		return nil
 	}
 	s.col.RequestAccepted()
+	s.journal.accepted(j)
 	return j
 }
 
@@ -358,7 +488,12 @@ func (s *Server) handleMix(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := newJob(s.newJobID(), clientID(r), "mix", req.Scale, mixes, []string{req.Scheme})
+	timeout, err := s.effectiveTimeout(req.TimeoutS)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newJob(s.newJobID(), clientID(r), "mix", req.Scale, mixes, []string{req.Scheme}, timeout)
 	if s.admit(w, j) == nil {
 		return
 	}
@@ -371,12 +506,14 @@ func (s *Server) handleMix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := j.snapshot()
-	switch snap.State {
-	case JobDone:
+	switch {
+	case snap.State == JobDone:
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(snap.Results[0])
-	case JobCancelled:
+	case snap.State == JobCancelled:
 		httpError(w, http.StatusConflict, "job %s cancelled", j.id)
+	case snap.ErrorKind == ErrKindDeadline:
+		httpError(w, http.StatusGatewayTimeout, "%s", snap.Error)
 	default:
 		httpError(w, http.StatusInternalServerError, "%s", snap.Error)
 	}
@@ -400,7 +537,12 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	j := newJob(s.newJobID(), clientID(r), "grid", req.Scale, mixes, req.Schemes)
+	timeout, err := s.effectiveTimeout(req.TimeoutS)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j := newJob(s.newJobID(), clientID(r), "grid", req.Scale, mixes, req.Schemes, timeout)
 	if s.admit(w, j) == nil {
 		return
 	}
@@ -417,6 +559,64 @@ func (s *Server) lookupJob(id string) *job {
 	s.jobMu.Lock()
 	defer s.jobMu.Unlock()
 	return s.jobs[id]
+}
+
+// handleJobsList returns every resident job's snapshot (without result
+// payloads — the listing is an index), sorted by numeric ID. After a crash
+// restart this is where interrupted jobs surface.
+func (s *Server) handleJobsList(w http.ResponseWriter, _ *http.Request) {
+	s.jobMu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.jobMu.Unlock()
+	snaps := make([]JobSnapshot, 0, len(jobs))
+	for _, j := range jobs {
+		snap := j.snapshot()
+		snap.Results = nil
+		snaps = append(snaps, snap)
+	}
+	sort.Slice(snaps, func(a, b int) bool {
+		na, _ := strconv.ParseInt(strings.TrimPrefix(snaps[a].ID, "job-"), 10, 64)
+		nb, _ := strconv.ParseInt(strings.TrimPrefix(snaps[b].ID, "job-"), 10, 64)
+		if na != nb {
+			return na < nb
+		}
+		return snaps[a].ID < snaps[b].ID
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string][]JobSnapshot{"jobs": snaps})
+}
+
+// handleJobRetry re-enqueues a terminal job's spec as a fresh job — the
+// resume path for interrupted jobs (checkpointed cells answer from disk, so
+// only the missing ones are simulated), also usable on failed or cancelled
+// ones. Normal admission control applies.
+func (s *Server) handleJobRetry(w http.ResponseWriter, r *http.Request) {
+	old := s.lookupJob(r.PathValue("id"))
+	if old == nil {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if snap := old.snapshot(); !snap.State.Terminal() {
+		httpError(w, http.StatusConflict, "job %s is still %s", old.id, snap.State)
+		return
+	}
+	j := newJob(s.newJobID(), clientID(r), old.kind, old.scale, old.mixes, old.scheme, old.timeout)
+	if s.admit(w, j) == nil {
+		return
+	}
+	// The old job's spec now lives on in the new one: a "retried" terminal
+	// record stops the next restart from replaying it as interrupted again.
+	s.journal.terminal(old.id, JobState("retried"))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(GridAccepted{
+		ID:         j.id,
+		StatusURL:  "/v1/jobs/" + j.id,
+		CellsTotal: j.cellsTotal,
+	})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -466,19 +666,51 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(j.snapshot())
 }
 
+// finish moves j to state exactly once: whichever caller wins the terminal
+// transition also does the bookkeeping — per-outcome counters, the journal's
+// terminal record, and retention. Losing callers (a late worker after a
+// deadline detach, a failure racing a cancel) are no-ops, which is what
+// keeps accepted == done + failed + cancelled exact.
+func (s *Server) finish(j *job, state JobState, errMsg, errKind string, extra func()) bool {
+	if !j.update(func() {
+		j.state = state
+		if errMsg != "" {
+			j.err = errMsg
+		}
+		j.errKind = errKind
+		if extra != nil {
+			extra()
+		}
+	}) {
+		return false
+	}
+	switch state {
+	case JobDone:
+		s.jobsDone.Add(1)
+	case JobFailed:
+		s.jobsFailed.Add(1)
+		switch errKind {
+		case ErrKindDeadline:
+			s.col.JobDeadlineExceeded()
+		case ErrKindPanic:
+			s.col.JobPanicked()
+		}
+	case JobCancelled:
+		s.col.JobCancelled()
+	}
+	s.journal.terminal(j.id, state)
+	s.finishJob(j)
+	return true
+}
+
 // cancelJob cancels a job in any non-terminal state: a queued job is pulled
 // from the queue and marked cancelled immediately; a running one has its
 // context cancelled and reaches the cancelled state when the runner unwinds
 // (between simulations).
 func (s *Server) cancelJob(j *job) {
 	if s.queue.remove(j) {
-		j.update(func() { j.state = JobCancelled })
-		s.col.JobCancelled()
-		s.finishJob(j)
+		s.finish(j, JobCancelled, "", "", nil)
 		return
-	}
-	if !j.snapshot().State.Terminal() {
-		s.col.JobCancelled()
 	}
 	j.cancel()
 }
@@ -488,9 +720,7 @@ func (s *Server) cancelJob(j *job) {
 // the shared cache).
 func (s *Server) cancelIfQueued(j *job) {
 	if s.queue.remove(j) {
-		j.update(func() { j.state = JobCancelled })
-		s.col.JobCancelled()
-		s.finishJob(j)
+		s.finish(j, JobCancelled, "", "", nil)
 	}
 }
 
@@ -527,6 +757,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "# HELP bwpart_serve_jobs_resident Jobs retained in the registry.\n# TYPE bwpart_serve_jobs_resident gauge\nbwpart_serve_jobs_resident %d\n", resident)
 	fmt.Fprintf(w, "# HELP bwpart_serve_runners Resident per-scale runners.\n# TYPE bwpart_serve_runners gauge\nbwpart_serve_runners %d\n", runners)
 	fmt.Fprintf(w, "# HELP bwpart_serve_draining Whether admission is closed for drain.\n# TYPE bwpart_serve_draining gauge\nbwpart_serve_draining %d\n", draining)
+	fmt.Fprintf(w, "# HELP bwpart_serve_jobs_done_total Jobs that reached the done state.\n# TYPE bwpart_serve_jobs_done_total counter\nbwpart_serve_jobs_done_total %d\n", s.jobsDone.Load())
+	fmt.Fprintf(w, "# HELP bwpart_serve_jobs_failed_total Jobs that reached the failed state.\n# TYPE bwpart_serve_jobs_failed_total counter\nbwpart_serve_jobs_failed_total %d\n", s.jobsFailed.Load())
 }
 
 // ---- job execution ----
@@ -538,48 +770,94 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		s.opts.Faults.Sleep(faultinject.QueueStall)
 		s.runJob(j)
 	}
 }
 
-// runJob executes one job mix-by-mix: each mix's schemes go through one
-// RunGrid call (shared warm base, group pinning, result-cache dedup), and
-// a progress event fires per completed mix. Cancellation is honored
-// between mixes and, inside RunGrid, between simulations.
+// runJob arms the job's deadline and runs the executor. Without a deadline
+// the executor runs on the worker directly; with one it runs on a child
+// goroutine the worker can abandon: when the deadline fires first, the job
+// fails with a "deadline" error and the worker moves on — a wedged or
+// glacial cell never wedges a worker. The abandoned executor keeps
+// unwinding in the background (RunGrid honors the cancelled context between
+// simulations) and its late terminal transition loses the finish() race.
 func (s *Server) runJob(j *job) {
-	if err := j.ctx.Err(); err != nil {
-		j.update(func() { j.state = JobCancelled })
-		s.finishJob(j)
+	if j.ctx.Err() != nil {
+		s.finish(j, JobCancelled, "", "", nil)
 		return
 	}
-	j.update(func() { j.state = JobRunning })
+	if !j.update(func() { j.state = JobRunning }) {
+		return
+	}
+	if j.timeout <= 0 {
+		s.executeJob(j.ctx, j)
+		return
+	}
+	ctx, cancel := context.WithTimeout(j.ctx, j.timeout)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer cancel()
+		s.executeJob(ctx, j)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if j.ctx.Err() == nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			s.finish(j, JobFailed,
+				fmt.Sprintf("deadline exceeded: job ran longer than %v", j.timeout),
+				ErrKindDeadline, nil)
+			return // detach: the executor finishes unwinding on its own
+		}
+		<-done // client cancellation: the executor unwinds cooperatively
+	}
+}
+
+// executeJob runs one job mix-by-mix: each mix's schemes go through one
+// RunGrid call (shared warm base, group pinning, result-cache dedup), and a
+// progress event fires per completed mix. Cancellation is honored between
+// mixes and, inside RunGrid, between simulations. A panic anywhere in the
+// job path — below the experiment engine's own per-cell recovery — is the
+// daemon's last resort: the job fails with a stack-carrying "panic" error
+// and the server keeps serving.
+func (s *Server) executeJob(ctx context.Context, j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.finish(j, JobFailed, fmt.Sprintf("job panicked: %v\n%s", r, debug.Stack()), ErrKindPanic, nil)
+		}
+	}()
+	if s.opts.Faults.Fire(faultinject.JobPanic) {
+		panic("injected job panic")
+	}
 	runner, err := s.runnerFor(j.scale)
 	if err != nil {
-		j.update(func() { j.state, j.err = JobFailed, err.Error() })
-		s.finishJob(j)
+		s.finish(j, JobFailed, err.Error(), "", nil)
 		return
 	}
 	results := make([]*exper.MixRun, 0, j.cellsTotal)
 	for _, mix := range j.mixes {
-		runs, err := runner.RunGrid(j.ctx, []workload.Mix{mix}, j.scheme)
+		runs, err := runner.RunGrid(ctx, []workload.Mix{mix}, j.scheme)
 		if err != nil {
-			if j.ctx.Err() != nil {
-				j.update(func() { j.state = JobCancelled })
-			} else {
-				j.update(func() { j.state, j.err = JobFailed, err.Error() })
+			switch {
+			case j.ctx.Err() != nil:
+				s.finish(j, JobCancelled, "", "", nil)
+			case ctx.Err() != nil:
+				s.finish(j, JobFailed,
+					fmt.Sprintf("deadline exceeded after %v: %v", j.timeout, err),
+					ErrKindDeadline, nil)
+			case errors.Is(err, exper.ErrJobPanicked):
+				s.finish(j, JobFailed, err.Error(), ErrKindPanic, nil)
+			default:
+				s.finish(j, JobFailed, err.Error(), "", nil)
 			}
-			s.finishJob(j)
 			return
 		}
 		results = append(results, runs...)
-		j.update(func() {
-			j.cellsDone = len(results)
-		})
+		j.update(func() { j.cellsDone = len(results) })
 	}
-	j.update(func() {
-		j.state = JobDone
+	s.finish(j, JobDone, "", "", func() {
 		j.results = results
 		j.cellsDone = len(results)
 	})
-	s.finishJob(j)
 }
